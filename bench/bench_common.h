@@ -1,0 +1,177 @@
+// Shared plumbing for the paper-reproduction benches (Tables I–IV,
+// Figs. 2, 5–7): flag parsing, agent construction, training-run drivers
+// and result formatting.
+//
+// Every bench accepts:
+//   --samples=N     placements evaluated per training run (default sized
+//                   for a single CPU core; the paper's agents saw a few
+//                   hundred placements in their 3.5–6 h budgets too)
+//   --seed=S        base RNG seed (tables regenerate identically per seed)
+//   --full          paper-scale agent dimensions (256 groups, 512 LSTM)
+//   --models=a,b    subset of inception_v3,gnmt,bert
+//   --csv=prefix    also write <prefix><name>.csv next to stdout output
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/eagle_agent.h"
+#include "core/env.h"
+#include "core/expert_policies.h"
+#include "core/post_agent.h"
+#include "models/zoo.h"
+#include "partition/fluid.h"
+#include "partition/metis_like.h"
+#include "rl/trainer.h"
+#include "support/args.h"
+#include "support/log.h"
+#include "support/stopwatch.h"
+#include "support/table.h"
+
+namespace eagle::bench {
+
+struct BenchConfig {
+  int samples = 250;
+  std::uint64_t seed = 7;
+  bool full = false;
+  std::vector<models::Benchmark> benchmarks;
+  std::string csv_prefix;
+
+  core::AgentDims dims() const {
+    return full ? core::AgentDims::PaperScale() : core::AgentDims{};
+  }
+};
+
+inline void AddCommonFlags(support::ArgParser& args, int default_samples) {
+  args.AddInt("samples", default_samples, "placements per training run");
+  args.AddInt("seed", 7, "base RNG seed");
+  args.AddBool("full", false, "paper-scale agent dimensions");
+  args.AddString("models", "inception_v3,gnmt,bert",
+                 "comma-separated benchmark subset");
+  args.AddString("csv", "", "CSV output path prefix (empty: no CSV)");
+  args.AddBool("verbose", false, "log progress per minibatch");
+}
+
+inline BenchConfig ReadCommonFlags(const support::ArgParser& args) {
+  BenchConfig config;
+  config.samples = static_cast<int>(args.GetInt("samples"));
+  config.seed = static_cast<std::uint64_t>(args.GetInt("seed"));
+  config.full = args.GetBool("full");
+  config.csv_prefix = args.GetString("csv");
+  std::string list = args.GetString("models");
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string name =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!name.empty()) {
+      config.benchmarks.push_back(models::BenchmarkFromName(name));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (args.GetBool("verbose")) {
+    support::SetLogLevel(support::LogLevel::kDebug);
+  }
+  return config;
+}
+
+// Per-benchmark fixture: graph + cluster + environment.
+struct BenchContext {
+  models::Benchmark benchmark;
+  graph::OpGraph graph;
+  sim::ClusterSpec cluster;
+  std::unique_ptr<core::PlacementEnvironment> env;
+};
+
+inline BenchContext MakeContext(models::Benchmark benchmark) {
+  BenchContext context;
+  context.benchmark = benchmark;
+  context.graph = models::BuildBenchmark(benchmark);
+  context.cluster = sim::MakeDefaultCluster();
+  context.env = std::make_unique<core::PlacementEnvironment>(
+      context.graph, context.cluster);
+  return context;
+}
+
+// Paper hyperparameters (§IV-C) with the bench's sample budget.
+inline rl::TrainerOptions PaperTrainerOptions(rl::Algorithm algorithm,
+                                              int samples,
+                                              std::uint64_t seed) {
+  rl::TrainerOptions options;
+  options.algorithm = algorithm;
+  options.total_samples = samples;
+  options.minibatch_size = 10;
+  options.ppo.clip_epsilon = 0.3;
+  options.ppo.epochs = 4;
+  options.ppo.entropy_coef = 0.01;
+  options.ce.num_elites = 5;
+  options.ce_interval = 50;
+  options.adam.lr = 0.01;
+  options.adam.clip_norm = 1.0;
+  options.seed = seed;
+  return options;
+}
+
+inline rl::TrainResult TrainOnBenchmark(
+    rl::PolicyAgent& agent, BenchContext& context, rl::Algorithm algorithm,
+    const BenchConfig& config,
+    const rl::ProgressCallback& on_progress = nullptr) {
+  support::Stopwatch stopwatch;
+  const auto options =
+      PaperTrainerOptions(algorithm, config.samples, config.seed);
+  auto result = rl::TrainAgent(agent, *context.env, options, on_progress);
+  EAGLE_LOG(Info) << models::BenchmarkName(context.benchmark) << " / "
+                  << agent.name() << " / " << rl::AlgorithmName(algorithm)
+                  << ": best "
+                  << (result.found_valid
+                          ? support::Table::Num(result.best_per_step_seconds)
+                          : "OOM")
+                  << " s/step, " << result.invalid_samples << "/"
+                  << result.total_samples << " invalid, "
+                  << support::Table::Num(result.total_virtual_hours, 2)
+                  << " simulated hours, wall "
+                  << support::Table::Num(stopwatch.ElapsedSeconds(), 1)
+                  << " s";
+  return result;
+}
+
+// Fixed groupings used by Tables I/II and the Post baseline.
+inline graph::Grouping MetisGrouping(const graph::OpGraph& graph,
+                                     int num_groups, std::uint64_t seed) {
+  partition::MetisOptions options;
+  options.num_parts = num_groups;
+  options.seed = seed;
+  return partition::MetisPartition(graph, options);
+}
+
+inline graph::Grouping FluidGrouping(const graph::OpGraph& graph,
+                                     int num_groups, std::uint64_t seed) {
+  partition::FluidOptions options;
+  options.num_communities = num_groups;
+  options.seed = seed;
+  return partition::FluidCommunities(graph, options);
+}
+
+inline std::string FormatResult(const rl::TrainResult& result) {
+  return result.found_valid
+             ? support::Table::Num(result.best_per_step_seconds)
+             : std::string("OOM");
+}
+
+inline std::string FormatEval(const sim::EvalResult& eval) {
+  return eval.valid ? support::Table::Num(eval.true_per_step_seconds)
+                    : std::string("OOM");
+}
+
+inline void MaybeWriteCsv(const support::Table& table,
+                          const BenchConfig& config,
+                          const std::string& name) {
+  if (!config.csv_prefix.empty()) {
+    table.WriteCsv(config.csv_prefix + name + ".csv");
+  }
+}
+
+}  // namespace eagle::bench

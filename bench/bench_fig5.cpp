@@ -1,0 +1,18 @@
+// Fig. 5 reproduction: per-step time of the placement for Inception-V3
+// found by Hierarchical Planner / Post / EAGLE during training.
+//
+// Expected shape (paper): all three reach the optimum; EAGLE is the
+// fastest to get there; HP wastes its early budget on invalid placements.
+#include "bench/bench_figs.h"
+
+using namespace eagle;
+
+int main(int argc, char** argv) {
+  support::ArgParser args("Fig. 5: Inception-V3 training curves");
+  bench::AddCommonFlags(args, /*default_samples=*/300);
+  if (!args.Parse(argc, argv)) return 0;
+  const auto config = bench::ReadCommonFlags(args);
+  bench::RunCurves("fig5", models::Benchmark::kInceptionV3,
+                   bench::PaperApproaches(), config);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fig. 6 reproduction: per-step time of the placement for GNMT found by
+// Hierarchical Planner / Post / EAGLE during training.
+//
+// Expected shape (paper): HP and EAGLE find a good placement quickly and
+// keep exploring (EAGLE more aggressively); Post starts badly and
+// converges to a local optimum above the others.
+#include "bench/bench_figs.h"
+
+using namespace eagle;
+
+int main(int argc, char** argv) {
+  support::ArgParser args("Fig. 6: GNMT training curves");
+  bench::AddCommonFlags(args, /*default_samples=*/300);
+  if (!args.Parse(argc, argv)) return 0;
+  const auto config = bench::ReadCommonFlags(args);
+  bench::RunCurves("fig6", models::Benchmark::kGNMT,
+                   bench::PaperApproaches(), config);
+  return 0;
+}

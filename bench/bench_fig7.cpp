@@ -1,0 +1,19 @@
+// Fig. 7 reproduction: per-step time of the placement for BERT found by
+// Hierarchical Planner / Post / EAGLE during training.
+//
+// Expected shape (paper): HP fails to learn BERT (stays bad); Post is
+// stable and good; EAGLE explores aggressively early and finds the best
+// placement by the end.
+#include "bench/bench_figs.h"
+
+using namespace eagle;
+
+int main(int argc, char** argv) {
+  support::ArgParser args("Fig. 7: BERT training curves");
+  bench::AddCommonFlags(args, /*default_samples=*/300);
+  if (!args.Parse(argc, argv)) return 0;
+  const auto config = bench::ReadCommonFlags(args);
+  bench::RunCurves("fig7", models::Benchmark::kBertBase,
+                   bench::PaperApproaches(), config);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Shared driver for the training-curve figures (Figs. 2, 5–7): trains a
+// set of named agents on one benchmark, records per-sample measured
+// per-step times and the running best against the simulated wall clock,
+// renders an ASCII chart and writes the series to CSV.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace eagle::bench {
+
+struct CurveAgent {
+  std::string name;
+  std::function<std::unique_ptr<rl::PolicyAgent>(const BenchContext&,
+                                                 const BenchConfig&)>
+      make;
+  rl::Algorithm algorithm = rl::Algorithm::kPpo;
+};
+
+inline void RunCurves(const std::string& figure_name,
+                      models::Benchmark benchmark,
+                      const std::vector<CurveAgent>& agents,
+                      const BenchConfig& config) {
+  std::vector<support::SeriesPoint> best_points;
+  std::vector<support::SeriesPoint> sample_points;
+  support::Table table(figure_name + ": convergence summary");
+  table.SetHeader({"Approach", "best s/step", "found at (sim h)",
+                   "invalid", "sim hours"});
+
+  for (const auto& spec : agents) {
+    auto context = MakeContext(benchmark);
+    auto agent = spec.make(context, config);
+    const auto on_progress = [&](const rl::HistoryPoint& point) {
+      if (std::isfinite(point.per_step_seconds)) {
+        sample_points.push_back(
+            {point.virtual_hours, point.per_step_seconds, spec.name});
+      }
+      if (std::isfinite(point.best_so_far_seconds)) {
+        best_points.push_back(
+            {point.virtual_hours, point.best_so_far_seconds, spec.name});
+      }
+    };
+    const auto result = TrainOnBenchmark(*agent, context, spec.algorithm,
+                                         config, on_progress);
+    table.AddRow({spec.name, FormatResult(result),
+                  support::Table::Num(result.best_found_at_hours, 2),
+                  std::to_string(result.invalid_samples),
+                  support::Table::Num(result.total_virtual_hours, 2)});
+  }
+
+  std::printf("%s — per-step time of the best placement found so far vs "
+              "simulated training hours\n",
+              figure_name.c_str());
+  std::fputs(support::RenderAsciiSeries(best_points).c_str(), stdout);
+  std::fputs(table.ToString().c_str(), stdout);
+  MaybeWriteCsv(table, config, figure_name + "_summary");
+  if (!config.csv_prefix.empty()) {
+    support::WriteSeriesCsv(config.csv_prefix + figure_name + "_best.csv",
+                            "sim_hours", "best_per_step_s", best_points);
+    support::WriteSeriesCsv(config.csv_prefix + figure_name + "_samples.csv",
+                            "sim_hours", "per_step_s", sample_points);
+  }
+}
+
+// The three RL approaches compared in Figs. 5–7, trained as published.
+inline std::vector<CurveAgent> PaperApproaches() {
+  return {
+      CurveAgent{"Hierarchical Planner",
+                 [](const BenchContext& context, const BenchConfig& config) {
+                   return std::unique_ptr<rl::PolicyAgent>(
+                       core::MakeHierarchicalPlanner(context.graph,
+                                                     context.cluster,
+                                                     config.dims(),
+                                                     config.seed));
+                 },
+                 rl::Algorithm::kReinforce},
+      CurveAgent{"Post",
+                 [](const BenchContext& context, const BenchConfig& config) {
+                   return std::unique_ptr<rl::PolicyAgent>(
+                       core::MakePostAgent(context.graph, context.cluster,
+                                           /*num_groups=*/16, config.seed));
+                 },
+                 rl::Algorithm::kPpoCe},
+      CurveAgent{"EAGLE",
+                 [](const BenchContext& context, const BenchConfig& config) {
+                   return std::unique_ptr<rl::PolicyAgent>(
+                       core::MakeEagleAgent(context.graph, context.cluster,
+                                            config.dims(), config.seed));
+                 },
+                 rl::Algorithm::kPpo},
+  };
+}
+
+}  // namespace eagle::bench

@@ -1,0 +1,141 @@
+// Substrate microbenchmarks (google-benchmark): simulator evaluation
+// throughput, partitioner latency, NN kernel and agent step costs. These
+// quantify the per-sample cost budget behind the table/figure benches.
+#include <benchmark/benchmark.h>
+
+#include "core/eagle_agent.h"
+#include "core/env.h"
+#include "models/zoo.h"
+#include "nn/layers.h"
+#include "partition/fluid.h"
+#include "partition/metis_like.h"
+#include "rl/ppo.h"
+#include "sim/measurement.h"
+
+namespace {
+
+using namespace eagle;
+
+const graph::OpGraph& BenchmarkGraph(int index) {
+  static const graph::OpGraph inception =
+      models::BuildBenchmark(models::Benchmark::kInceptionV3);
+  static const graph::OpGraph gnmt =
+      models::BuildBenchmark(models::Benchmark::kGNMT);
+  static const graph::OpGraph bert =
+      models::BuildBenchmark(models::Benchmark::kBertBase);
+  switch (index) {
+    case 0: return inception;
+    case 1: return gnmt;
+    default: return bert;
+  }
+}
+
+const char* GraphLabel(int index) {
+  return index == 0 ? "inception" : index == 1 ? "gnmt" : "bert";
+}
+
+void BM_SimulatorStep(benchmark::State& state) {
+  const auto& graph = BenchmarkGraph(static_cast<int>(state.range(0)));
+  const auto cluster = sim::MakeDefaultCluster();
+  sim::ExecutionSimulator simulator(graph, cluster);
+  support::Rng rng(1);
+  std::vector<sim::DeviceId> devices(static_cast<std::size_t>(graph.num_ops()));
+  for (auto& d : devices) d = static_cast<sim::DeviceId>(rng.NextBelow(5));
+  sim::Placement placement(graph, devices);
+  placement.Normalize(graph, cluster);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.Run(placement).step_seconds);
+  }
+  state.SetLabel(GraphLabel(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_SimulatorStep)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MetisPartition(benchmark::State& state) {
+  const auto& graph = BenchmarkGraph(static_cast<int>(state.range(0)));
+  partition::MetisOptions options;
+  options.num_parts = 48;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::MetisPartition(graph, options));
+  }
+  state.SetLabel(GraphLabel(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_MetisPartition)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_FluidPartition(benchmark::State& state) {
+  const auto& graph = BenchmarkGraph(static_cast<int>(state.range(0)));
+  partition::FluidOptions options;
+  options.num_communities = 48;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::FluidCommunities(graph, options));
+  }
+  state.SetLabel(GraphLabel(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_FluidPartition)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_GemmSquare(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  support::Rng rng(2);
+  nn::Tensor a(n, n), b(n, n), out(n, n);
+  nn::UniformInit(a, -1, 1, rng);
+  nn::UniformInit(b, -1, 1, rng);
+  for (auto _ : state) {
+    out.Fill(0.0f);
+    nn::GemmAccum(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AgentSampleDecision(benchmark::State& state) {
+  const auto& graph = BenchmarkGraph(static_cast<int>(state.range(0)));
+  const auto cluster = sim::MakeDefaultCluster();
+  auto agent = core::MakeEagleAgent(graph, cluster, core::AgentDims{}, 1);
+  support::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent->SampleDecision(rng).logp);
+  }
+  state.SetLabel(GraphLabel(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_AgentSampleDecision)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PpoMinibatchUpdate(benchmark::State& state) {
+  const auto& graph = BenchmarkGraph(static_cast<int>(state.range(0)));
+  const auto cluster = sim::MakeDefaultCluster();
+  auto agent = core::MakeEagleAgent(graph, cluster, core::AgentDims{}, 1);
+  support::Rng rng(4);
+  std::vector<rl::Sample> batch;
+  for (int i = 0; i < 10; ++i) {
+    auto sample = agent->SampleDecision(rng);
+    sample.advantage = rng.NextGaussian();
+    batch.push_back(std::move(sample));
+  }
+  nn::Adam adam(agent->params());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rl::PpoUpdate(*agent, adam, batch, {}));
+  }
+  state.SetLabel(GraphLabel(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_PpoMinibatchUpdate)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_EnvironmentEvaluate(benchmark::State& state) {
+  const auto& graph = BenchmarkGraph(static_cast<int>(state.range(0)));
+  const auto cluster = sim::MakeDefaultCluster();
+  core::EnvironmentOptions options;
+  options.cache_evaluations = false;
+  core::PlacementEnvironment env(graph, cluster, options);
+  support::Rng rng(5);
+  auto agent = core::MakeEagleAgent(graph, cluster, core::AgentDims{}, 1);
+  const auto sample = agent->SampleDecision(rng);
+  const auto placement = agent->ToPlacement(sample);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        env.Evaluate(placement, &rng).per_step_seconds);
+  }
+  state.SetLabel(GraphLabel(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_EnvironmentEvaluate)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Plot the figure benches' CSV output (matplotlib, optional).
+
+Usage:
+    scripts/plot_results.py results/ [out_dir]
+
+Reads figN_best.csv / figN_samples.csv written by bench_fig* and renders
+one PNG per figure, mirroring the paper's Figs. 2 and 5-7: scatter of
+per-sample measured per-step times plus the best-so-far staircase, per
+approach, against simulated training hours.
+"""
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_series(path):
+    series = defaultdict(lambda: ([], []))
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            xs, ys = series[row["series"]]
+            xs.append(float(row[list(row)[1]]))
+            ys.append(float(row[list(row)[2]]))
+    return series
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    results = sys.argv[1]
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else results
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not installed; only validating CSVs")
+        plt = None
+
+    figures = [name[: -len("_best.csv")]
+               for name in sorted(os.listdir(results))
+               if name.endswith("_best.csv")]
+    if not figures:
+        print(f"no fig*_best.csv files under {results}")
+        return 1
+
+    for fig in figures:
+        best = read_series(os.path.join(results, f"{fig}_best.csv"))
+        samples_path = os.path.join(results, f"{fig}_samples.csv")
+        samples = read_series(samples_path) if os.path.exists(samples_path) \
+            else {}
+        print(f"{fig}: {', '.join(best)} "
+              f"({sum(len(x) for x, _ in best.values())} best points)")
+        if plt is None:
+            continue
+        plt.figure(figsize=(7, 4.2))
+        for name, (xs, ys) in samples.items():
+            plt.scatter(xs, ys, s=4, alpha=0.25)
+        for name, (xs, ys) in best.items():
+            plt.step(xs, ys, where="post", label=name, linewidth=1.8)
+        plt.xlabel("simulated training hours")
+        plt.ylabel("per-step time (s)")
+        plt.title(fig)
+        plt.legend()
+        plt.tight_layout()
+        out = os.path.join(out_dir, f"{fig}.png")
+        plt.savefig(out, dpi=140)
+        plt.close()
+        print(f"  wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

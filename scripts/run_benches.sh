@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every paper table and figure. Usage:
+#   scripts/run_benches.sh [build-dir] [out-dir]
+set -u
+BUILD=${1:-build}
+OUT=${2:-results}
+mkdir -p "$OUT"
+for b in table1 table2 table3 table4 fig2 fig5 fig6 fig7 ablation baselines placeto; do
+  echo "=== bench_$b ==="
+  "$BUILD/bench/bench_$b" --csv="$OUT/"
+done
+echo "=== bench_micro ==="
+"$BUILD/bench/bench_micro" --benchmark_min_time=0.05
+echo ALL_BENCHES_DONE

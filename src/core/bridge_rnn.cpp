@@ -1,0 +1,43 @@
+#include "core/bridge_rnn.h"
+
+#include "support/check.h"
+
+namespace eagle::core {
+
+BridgeRnn::BridgeRnn(nn::ParamStore& store, int grouper_hidden,
+                     int bridge_hidden, support::Rng& rng)
+    : cell_(store, "bridge", grouper_hidden + 2, bridge_hidden, rng) {}
+
+nn::Var BridgeRnn::Apply(nn::Tape& tape, const GrouperFFN& grouper,
+                         nn::Var grouper_softmax,
+                         const graph::Grouping& grouping) const {
+  const int k = grouper.num_groups();
+  const int num_ops = tape.value(grouper_softmax).rows();
+  EAGLE_CHECK(static_cast<int>(grouping.size()) == num_ops);
+
+  // Parameter signatures: W2ᵀ rows are per-group columns (k × hidden).
+  nn::Var signatures = tape.Transpose(tape.Param(grouper.output_weights()));
+  // Soft mass per group: column means of the softmax (differentiable).
+  nn::Var mass = tape.Transpose(
+      tape.Scale(tape.SumRows(grouper_softmax),
+                 1.0f / static_cast<float>(num_ops)));  // k×1
+  // Discrete op-count share per group (constant input).
+  nn::Tensor counts(k, 1);
+  for (int g : grouping) {
+    counts.at(g, 0) += 1.0f / static_cast<float>(num_ops);
+  }
+  nn::Var count_share = tape.Input(std::move(counts));
+
+  nn::Var inputs = tape.ConcatCols(tape.ConcatCols(signatures, mass),
+                                   count_share);  // k × (hidden+2)
+  // Run the LSTM across the group sequence.
+  std::vector<nn::Var> states(static_cast<std::size_t>(k));
+  nn::LstmCell::State state = cell_.ZeroState(tape, 1);
+  for (int g = 0; g < k; ++g) {
+    state = cell_.Step(tape, tape.Row(inputs, g), state);
+    states[static_cast<std::size_t>(g)] = state.h;
+  }
+  return tape.ConcatRows(states);  // k × bridge_hidden
+}
+
+}  // namespace eagle::core

@@ -1,0 +1,206 @@
+#include "core/eagle_agent.h"
+
+#include "support/check.h"
+
+namespace eagle::core {
+
+HierarchicalAgent::HierarchicalAgent(const graph::OpGraph& graph,
+                                     const sim::ClusterSpec& cluster,
+                                     HierarchicalAgentConfig config)
+    : graph_(&graph), cluster_(&cluster), config_(std::move(config)) {
+  support::Rng rng(config_.seed);
+  const int k = config_.dims.num_groups;
+  const bool adjacency_in_embedding = config_.placer == PlacerKind::kSeq2Seq;
+  const int embed_dim = graph::GroupEmbeddingDim(k, adjacency_in_embedding);
+  const int bridge_dim =
+      config_.use_bridge ? config_.dims.bridge_hidden : 0;
+
+  if (config_.grouper == GrouperKind::kLearned) {
+    grouper_ = GrouperFFN(store_, graph::OpFeatureDim(),
+                          config_.dims.grouper_hidden, k, rng);
+    if (config_.use_bridge) {
+      bridge_ = BridgeRnn(store_, config_.dims.grouper_hidden,
+                          config_.dims.bridge_hidden, rng);
+    }
+  } else {
+    EAGLE_CHECK_MSG(static_cast<int>(config_.fixed_grouping.size()) ==
+                        graph.num_ops(),
+                    "fixed grouping does not cover the graph");
+    EAGLE_CHECK_MSG(!config_.use_bridge,
+                    "bridge RNN requires a learned grouper");
+    fixed_embeddings_ = MakeGroupEmbeddings(
+        graph, config_.fixed_grouping, k, config_.features,
+        adjacency_in_embedding);
+    if (config_.placer == PlacerKind::kGcn) {
+      fixed_adjacency_ = MakeGroupAdjacency(graph, config_.fixed_grouping, k);
+    }
+  }
+
+  const int placer_input_dim = embed_dim + bridge_dim;
+  const int num_devices = cluster.num_devices();
+  if (config_.placer == PlacerKind::kSeq2Seq) {
+    seq_placer_ = Seq2SeqPlacer(
+        store_, placer_input_dim, config_.dims.placer_hidden,
+        config_.dims.attn_dim, config_.dims.device_embed_dim, num_devices,
+        config_.attention, rng);
+  } else {
+    gcn_placer_ = GcnPlacer(store_, placer_input_dim,
+                            config_.dims.placer_hidden, num_devices, rng);
+  }
+
+  op_features_ = MakeOpFeatures(graph, config_.features);
+  if (config_.grouper == GrouperKind::kLearned &&
+      config_.grouper_locality_prior) {
+    locality_prior_ = MakeLocalityPrior(graph, k);
+  }
+  grouper_weight_ =
+      config_.grouper_logp_weight >= 0.0
+          ? config_.grouper_logp_weight
+          : static_cast<double>(k) / std::max(1, graph.num_ops());
+}
+
+HierarchicalAgent::PolicyOutput HierarchicalAgent::RunPolicy(
+    nn::Tape& tape, support::Rng* rng, const rl::Sample* forced) {
+  EAGLE_CHECK((rng != nullptr) != (forced != nullptr));
+  const int k = config_.dims.num_groups;
+  PolicyOutput out;
+
+  nn::Var group_embeddings;
+  nn::Var grouper_logp;
+  nn::Var grouper_entropy;
+  bool has_grouper_terms = false;
+
+  if (config_.grouper == GrouperKind::kLearned) {
+    nn::Var features = tape.Input(op_features_);
+    const graph::Grouping* forced_grouping =
+        forced != nullptr ? &forced->grouping : nullptr;
+    auto grouped = grouper_.Run(
+        tape, features, rng, forced_grouping,
+        locality_prior_.empty() ? nullptr : &locality_prior_);
+    out.grouping = grouped.grouping;
+    grouper_logp = grouped.log_prob;
+    grouper_entropy = grouped.entropy;
+    has_grouper_terms = true;
+
+    nn::Tensor embeds = MakeGroupEmbeddings(
+        *graph_, out.grouping, k, config_.features,
+        /*include_adjacency=*/config_.placer == PlacerKind::kSeq2Seq);
+    group_embeddings = tape.Input(std::move(embeds));
+    if (config_.use_bridge) {
+      nn::Var conditioning =
+          bridge_.Apply(tape, grouper_, grouped.softmax, out.grouping);
+      group_embeddings = tape.ConcatCols(group_embeddings, conditioning);
+    }
+  } else {
+    out.grouping = config_.fixed_grouping;
+    group_embeddings = tape.Input(fixed_embeddings_);
+  }
+
+  PlacerRollout rollout;
+  const std::vector<std::int32_t>* forced_devices =
+      forced != nullptr ? &forced->group_devices : nullptr;
+  if (config_.placer == PlacerKind::kSeq2Seq) {
+    rollout = seq_placer_.Run(tape, group_embeddings, rng, forced_devices);
+  } else {
+    nn::Var adjacency = tape.Input(
+        config_.grouper == GrouperKind::kFixed
+            ? fixed_adjacency_
+            : MakeGroupAdjacency(*graph_, out.grouping, k));
+    rollout = gcn_placer_.Run(tape, group_embeddings, adjacency, rng,
+                              forced_devices);
+  }
+  out.devices = rollout.devices;
+
+  if (has_grouper_terms) {
+    out.logp = tape.Add(
+        rollout.log_prob,
+        tape.Scale(grouper_logp, static_cast<float>(grouper_weight_)));
+    out.entropy = tape.Add(rollout.entropy, grouper_entropy);
+  } else {
+    out.logp = rollout.log_prob;
+    out.entropy = rollout.entropy;
+  }
+  return out;
+}
+
+rl::Sample HierarchicalAgent::SampleDecision(support::Rng& rng) {
+  nn::Tape tape;
+  PolicyOutput out = RunPolicy(tape, &rng, nullptr);
+  rl::Sample sample;
+  sample.grouping = std::move(out.grouping);
+  sample.group_devices = std::move(out.devices);
+  sample.logp = static_cast<double>(tape.value(out.logp).at(0, 0));
+  sample.num_decisions = static_cast<int>(sample.group_devices.size()) +
+                         (config_.grouper == GrouperKind::kLearned
+                              ? config_.dims.num_groups  // grouper term is
+                                                         // scaled to ~k
+                                                         // decisions
+                              : 0);
+  return sample;
+}
+
+HierarchicalAgent::Score HierarchicalAgent::ScoreDecision(
+    nn::Tape& tape, const rl::Sample& sample) {
+  PolicyOutput out = RunPolicy(tape, nullptr, &sample);
+  return Score{out.logp, out.entropy};
+}
+
+sim::Placement HierarchicalAgent::ToPlacement(const rl::Sample& sample) const {
+  graph::GroupedGraph grouped(*graph_, sample.grouping,
+                              config_.dims.num_groups);
+  sim::Placement placement(*graph_, grouped.ExpandToOps(sample.group_devices));
+  placement.Normalize(*graph_, *cluster_);
+  return placement;
+}
+
+std::unique_ptr<HierarchicalAgent> MakeEagleAgent(
+    const graph::OpGraph& graph, const sim::ClusterSpec& cluster,
+    const AgentDims& dims, std::uint64_t seed) {
+  HierarchicalAgentConfig config;
+  config.display_name = "EAGLE";
+  config.dims = dims;
+  config.grouper = GrouperKind::kLearned;
+  config.placer = PlacerKind::kSeq2Seq;
+  config.attention = AttentionVariant::kBefore;
+  config.use_bridge = true;
+  config.features = graph::FeatureMode::kReconstructed;
+  config.seed = seed;
+  return std::make_unique<HierarchicalAgent>(graph, cluster,
+                                             std::move(config));
+}
+
+std::unique_ptr<HierarchicalAgent> MakeHierarchicalPlanner(
+    const graph::OpGraph& graph, const sim::ClusterSpec& cluster,
+    const AgentDims& dims, std::uint64_t seed) {
+  HierarchicalAgentConfig config;
+  config.display_name = "Hierarchical Planner";
+  config.dims = dims;
+  config.grouper = GrouperKind::kLearned;
+  config.placer = PlacerKind::kSeq2Seq;
+  config.attention = AttentionVariant::kAfter;
+  config.use_bridge = false;
+  config.features = graph::FeatureMode::kRaw;
+  config.seed = seed;
+  return std::make_unique<HierarchicalAgent>(graph, cluster,
+                                             std::move(config));
+}
+
+std::unique_ptr<HierarchicalAgent> MakeFixedGrouperAgent(
+    const graph::OpGraph& graph, const sim::ClusterSpec& cluster,
+    graph::Grouping grouping, PlacerKind placer, AttentionVariant attention,
+    const AgentDims& dims, std::uint64_t seed, const std::string& name) {
+  HierarchicalAgentConfig config;
+  config.display_name = name;
+  config.dims = dims;
+  config.grouper = GrouperKind::kFixed;
+  config.fixed_grouping = std::move(grouping);
+  config.placer = placer;
+  config.attention = attention;
+  config.use_bridge = false;
+  config.features = graph::FeatureMode::kReconstructed;
+  config.seed = seed;
+  return std::make_unique<HierarchicalAgent>(graph, cluster,
+                                             std::move(config));
+}
+
+}  // namespace eagle::core

@@ -1,0 +1,112 @@
+// HierarchicalAgent: the grouper→placer policy family of §III, covering
+//
+//   EAGLE                — learned FFN grouper + bridge RNN + seq2seq
+//                          placer with attention-before + reconstructed
+//                          state vectors (every EAGLE ingredient on);
+//   Hierarchical Planner — learned FFN grouper, no bridge, seq2seq placer
+//                          with attention-after, raw HP-style features
+//                          (our reproduction of Mirhoseini et al. [5]);
+//   fixed-grouper agents — METIS / fluid-communities / any precomputed
+//                          grouping with a trainable placer (Tables I–II).
+//
+// The joint decision log-probability is
+//   log π = log π_placer + w_g · log π_grouper,
+// with w_g defaulting to num_groups/num_ops: the grouper term is a sum of
+// thousands of per-op categoricals whose raw magnitude would swamp the
+// placer term and blow up PPO importance ratios; scaling it to the same
+// order as the placer term (≈ one categorical per group) keeps the joint
+// ratio meaningful. The same weight is used at sampling and scoring time,
+// so the PPO ratio is exact for the reweighted objective.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/bridge_rnn.h"
+#include "core/gcn_placer.h"
+#include "core/grouper_ffn.h"
+#include "core/group_embedding.h"
+#include "core/run_config.h"
+#include "core/seq2seq_placer.h"
+#include "rl/episode.h"
+#include "sim/device.h"
+
+namespace eagle::core {
+
+enum class GrouperKind { kLearned, kFixed };
+enum class PlacerKind { kSeq2Seq, kGcn };
+
+struct HierarchicalAgentConfig {
+  std::string display_name = "EAGLE";
+  AgentDims dims;
+  GrouperKind grouper = GrouperKind::kLearned;
+  graph::Grouping fixed_grouping;  // required when grouper == kFixed
+  PlacerKind placer = PlacerKind::kSeq2Seq;
+  AttentionVariant attention = AttentionVariant::kBefore;
+  bool use_bridge = true;
+  // Additive topological-banding prior on the grouper logits (see
+  // GrouperFFN::Logits). On for both learned-grouper agents: it is a
+  // grouper-input design, not an EAGLE-vs-HP differentiator.
+  bool grouper_locality_prior = true;
+  graph::FeatureMode features = graph::FeatureMode::kReconstructed;
+  // <0: auto (num_groups / num_ops).
+  double grouper_logp_weight = -1.0;
+  std::uint64_t seed = 1;
+};
+
+class HierarchicalAgent : public rl::PolicyAgent {
+ public:
+  HierarchicalAgent(const graph::OpGraph& graph,
+                    const sim::ClusterSpec& cluster,
+                    HierarchicalAgentConfig config);
+
+  rl::Sample SampleDecision(support::Rng& rng) override;
+  Score ScoreDecision(nn::Tape& tape, const rl::Sample& sample) override;
+  sim::Placement ToPlacement(const rl::Sample& sample) const override;
+  nn::ParamStore& params() override { return store_; }
+  const char* name() const override { return config_.display_name.c_str(); }
+
+  const HierarchicalAgentConfig& config() const { return config_; }
+
+ private:
+  struct PolicyOutput {
+    graph::Grouping grouping;
+    std::vector<std::int32_t> devices;
+    nn::Var logp;
+    nn::Var entropy;
+  };
+  PolicyOutput RunPolicy(nn::Tape& tape, support::Rng* rng,
+                         const rl::Sample* forced);
+
+  const graph::OpGraph* graph_;
+  const sim::ClusterSpec* cluster_;
+  HierarchicalAgentConfig config_;
+  nn::ParamStore store_;
+  GrouperFFN grouper_;
+  BridgeRnn bridge_;
+  Seq2SeqPlacer seq_placer_;
+  GcnPlacer gcn_placer_;
+  nn::Tensor op_features_;
+  nn::Tensor locality_prior_;
+  // Cached embeddings for the fixed-grouper case.
+  nn::Tensor fixed_embeddings_;
+  nn::Tensor fixed_adjacency_;
+  double grouper_weight_ = 0.0;
+};
+
+// ---- factories for the named approaches ----
+
+std::unique_ptr<HierarchicalAgent> MakeEagleAgent(
+    const graph::OpGraph& graph, const sim::ClusterSpec& cluster,
+    const AgentDims& dims, std::uint64_t seed);
+
+std::unique_ptr<HierarchicalAgent> MakeHierarchicalPlanner(
+    const graph::OpGraph& graph, const sim::ClusterSpec& cluster,
+    const AgentDims& dims, std::uint64_t seed);
+
+std::unique_ptr<HierarchicalAgent> MakeFixedGrouperAgent(
+    const graph::OpGraph& graph, const sim::ClusterSpec& cluster,
+    graph::Grouping grouping, PlacerKind placer, AttentionVariant attention,
+    const AgentDims& dims, std::uint64_t seed, const std::string& name);
+
+}  // namespace eagle::core

@@ -1,0 +1,63 @@
+#include "core/env.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/cost_model.h"
+#include "support/check.h"
+
+namespace eagle::core {
+
+PlacementEnvironment::PlacementEnvironment(const graph::OpGraph& graph,
+                                           const sim::ClusterSpec& cluster,
+                                           EnvironmentOptions options)
+    : graph_(&graph),
+      cluster_(&cluster),
+      options_(options),
+      session_(graph, cluster, options.measurement, options.simulator) {
+  // Serialized lower bound on the fastest device (ignoring memory): the
+  // "if it all fit on one GPU" time, scaled into the invalid penalty.
+  const sim::CostModel cost(cluster);
+  double best = std::numeric_limits<double>::infinity();
+  for (sim::DeviceId d = 0; d < cluster.num_devices(); ++d) {
+    double total = 0.0;
+    for (graph::OpId i = 0; i < graph.num_ops(); ++i) {
+      total += cost.ComputeSeconds(graph.op(i), d);
+    }
+    best = std::min(best, total);
+  }
+  penalty_seconds_ = options_.penalty_factor * best;
+  EAGLE_CHECK(penalty_seconds_ > 0.0);
+}
+
+sim::EvalResult PlacementEnvironment::Evaluate(
+    const sim::Placement& placement, support::Rng* rng) {
+  ++evaluations_;
+  sim::EvalResult result;
+  const std::uint64_t key = placement.Hash();
+  auto it = options_.cache_evaluations ? cache_.find(key) : cache_.end();
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    result = it->second;
+  } else {
+    // Cache the *noiseless* result; noise is re-applied per call below so
+    // repeated visits still look like independent measurements.
+    result = session_.Evaluate(placement, nullptr);
+    if (options_.cache_evaluations) cache_.emplace(key, result);
+  }
+  if (result.valid && rng != nullptr &&
+      options_.measurement.noise_stddev > 0.0) {
+    const int measured =
+        options_.measurement.total_steps - options_.measurement.warmup_steps;
+    double sum = 0.0;
+    for (int i = 0; i < measured; ++i) {
+      sum += result.true_per_step_seconds *
+             std::max(0.5, 1.0 + options_.measurement.noise_stddev *
+                                     rng->NextGaussian());
+    }
+    result.per_step_seconds = sum / measured;
+  }
+  return result;
+}
+
+}  // namespace eagle::core

@@ -1,0 +1,54 @@
+// PlacementEnvironment: the environment the RL agents interact with.
+//
+// Wraps a benchmark graph + cluster + MeasurementSession, caches noiseless
+// evaluations by placement hash (the simulator is deterministic, so a
+// revisited placement costs virtual-clock time but no compute), and
+// supplies the invalid-placement penalty used by reward shaping.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "rl/trainer.h"
+#include "sim/measurement.h"
+
+namespace eagle::core {
+
+struct EnvironmentOptions {
+  sim::MeasurementOptions measurement;
+  sim::SimulatorOptions simulator;
+  // Invalid placements are charged penalty_factor × the serialized
+  // single-fastest-device per-step lower bound.
+  double penalty_factor = 10.0;
+  bool cache_evaluations = true;
+};
+
+class PlacementEnvironment : public rl::Environment {
+ public:
+  PlacementEnvironment(const graph::OpGraph& graph,
+                       const sim::ClusterSpec& cluster,
+                       EnvironmentOptions options = {});
+
+  sim::EvalResult Evaluate(const sim::Placement& placement,
+                           support::Rng* rng) override;
+  double InvalidPenaltySeconds() const override { return penalty_seconds_; }
+
+  const graph::OpGraph& graph() const { return *graph_; }
+  const sim::ClusterSpec& cluster() const { return *cluster_; }
+  const sim::MeasurementSession& session() const { return session_; }
+
+  int cache_hits() const { return cache_hits_; }
+  int evaluations() const { return evaluations_; }
+
+ private:
+  const graph::OpGraph* graph_;
+  const sim::ClusterSpec* cluster_;
+  EnvironmentOptions options_;
+  sim::MeasurementSession session_;
+  double penalty_seconds_ = 0.0;
+  std::unordered_map<std::uint64_t, sim::EvalResult> cache_;
+  int cache_hits_ = 0;
+  int evaluations_ = 0;
+};
+
+}  // namespace eagle::core

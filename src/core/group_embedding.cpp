@@ -1,0 +1,32 @@
+#include "core/group_embedding.h"
+
+#include "graph/grouped_graph.h"
+
+namespace eagle::core {
+
+nn::Tensor MakeGroupEmbeddings(const graph::OpGraph& graph,
+                               const graph::Grouping& grouping,
+                               int num_groups, graph::FeatureMode mode,
+                               bool include_adjacency) {
+  graph::GroupedGraph grouped(graph, grouping, num_groups);
+  auto data = graph::BuildGroupEmbeddings(grouped, mode, include_adjacency);
+  const int dim = graph::GroupEmbeddingDim(num_groups, include_adjacency);
+  return nn::Tensor::FromData(num_groups, dim, std::move(data));
+}
+
+nn::Tensor MakeGroupAdjacency(const graph::OpGraph& graph,
+                              const graph::Grouping& grouping,
+                              int num_groups) {
+  graph::GroupedGraph grouped(graph, grouping, num_groups);
+  auto data = graph::BuildNormalizedGroupAdjacency(grouped);
+  return nn::Tensor::FromData(num_groups, num_groups, std::move(data));
+}
+
+nn::Tensor MakeOpFeatures(const graph::OpGraph& graph,
+                          graph::FeatureMode mode) {
+  auto data = graph::BuildOpFeatures(graph, mode);
+  return nn::Tensor::FromData(graph.num_ops(), graph::OpFeatureDim(),
+                              std::move(data));
+}
+
+}  // namespace eagle::core

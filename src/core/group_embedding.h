@@ -1,0 +1,28 @@
+// Group-embedding construction for the placer (§III-C): "a group embedding
+// consists of three parts: the number of operations of each operation type
+// in the group, the output shapes, and the adjacency information".
+#pragma once
+
+#include "core/run_config.h"
+#include "graph/features.h"
+#include "nn/tensor.h"
+
+namespace eagle::core {
+
+// k × GroupEmbeddingDim tensor from a grouping of `graph`.
+// include_adjacency=false for the GCN placer (it gets Â separately).
+nn::Tensor MakeGroupEmbeddings(const graph::OpGraph& graph,
+                               const graph::Grouping& grouping,
+                               int num_groups, graph::FeatureMode mode,
+                               bool include_adjacency);
+
+// Normalized group adjacency Â as a tensor (GCN placer input).
+nn::Tensor MakeGroupAdjacency(const graph::OpGraph& graph,
+                              const graph::Grouping& grouping,
+                              int num_groups);
+
+// num_ops × OpFeatureDim tensor (grouper input).
+nn::Tensor MakeOpFeatures(const graph::OpGraph& graph,
+                          graph::FeatureMode mode);
+
+}  // namespace eagle::core

@@ -1,0 +1,93 @@
+#include "core/grouper_ffn.h"
+
+#include "support/check.h"
+
+namespace eagle::core {
+
+GrouperFFN::GrouperFFN(nn::ParamStore& store, int feature_dim, int hidden,
+                       int num_groups, support::Rng& rng)
+    : l1_(store, "grouper/l1", feature_dim, hidden, rng),
+      hidden_(hidden),
+      num_groups_(num_groups) {
+  w2_ = store.Create("grouper/l2/w", hidden, num_groups);
+  b2_ = store.Create("grouper/l2/b", 1, num_groups);
+  nn::XavierInit(w2_->value, rng);
+}
+
+nn::Var GrouperFFN::Logits(nn::Tape& tape, nn::Var op_features,
+                           const nn::Tensor* locality_prior) const {
+  nn::Var h = tape.Tanh(l1_.Apply(tape, op_features));
+  nn::Var logits = tape.Add(tape.MatMul(h, tape.Param(w2_)), tape.Param(b2_));
+  if (locality_prior != nullptr) {
+    logits = tape.Add(logits, tape.Input(*locality_prior));
+  }
+  return logits;
+}
+
+GrouperFFN::SampleResult GrouperFFN::Run(nn::Tape& tape, nn::Var op_features,
+                                         support::Rng* rng,
+                                         const graph::Grouping* forced,
+                                         const nn::Tensor* locality_prior)
+    const {
+  EAGLE_CHECK_MSG((rng != nullptr) != (forced != nullptr),
+                  "pass exactly one of rng / forced grouping");
+  nn::Var logits = Logits(tape, op_features, locality_prior);
+  nn::Var logp = tape.LogSoftmax(logits);
+  nn::Var probs = tape.Softmax(logits);
+  const nn::Tensor& probs_value = tape.value(probs);
+  const int num_ops = probs_value.rows();
+
+  SampleResult result;
+  result.softmax = probs;
+  std::vector<int> picks(static_cast<std::size_t>(num_ops));
+  if (forced != nullptr) {
+    EAGLE_CHECK(static_cast<int>(forced->size()) == num_ops);
+    for (int i = 0; i < num_ops; ++i) {
+      picks[static_cast<std::size_t>(i)] =
+          (*forced)[static_cast<std::size_t>(i)];
+    }
+    result.grouping = *forced;
+  } else {
+    result.grouping.resize(static_cast<std::size_t>(num_ops));
+    for (int i = 0; i < num_ops; ++i) {
+      const auto g = static_cast<int>(rng->NextFromProbs(
+          probs_value.row(i), static_cast<std::size_t>(num_groups_)));
+      picks[static_cast<std::size_t>(i)] = g;
+      result.grouping[static_cast<std::size_t>(i)] = g;
+    }
+  }
+  result.log_prob = tape.Sum(tape.PickPerRow(logp, std::move(picks)));
+  // Mean per-op entropy: -mean_rows Σ_g p log p.
+  result.entropy = tape.Scale(tape.Sum(tape.Mul(probs, logp)),
+                              -1.0f / static_cast<float>(num_ops));
+  return result;
+}
+
+nn::Tensor MakeLocalityPrior(const graph::OpGraph& graph, int num_groups) {
+  // Graph-definition order (op id) is the locality coordinate: builders —
+  // like TF GraphDefs — emit ops layer by layer, so adjacent ids are
+  // structurally adjacent. A Kahn topological rank interleaves parallel
+  // layers (e.g. the unrolled timesteps of every GNMT layer) and would
+  // band *across* the natural module boundaries instead.
+  std::vector<float> rank(static_cast<std::size_t>(graph.num_ops()), 0.0f);
+  for (graph::OpId i = 0; i < graph.num_ops(); ++i) {
+    rank[static_cast<std::size_t>(i)] =
+        graph.num_ops() > 1
+            ? static_cast<float>(i) / static_cast<float>(graph.num_ops() - 1)
+            : 0.0f;
+  }
+  const float gamma = 8.0f / static_cast<float>(num_groups);
+  nn::Tensor prior(graph.num_ops(), num_groups);
+  for (graph::OpId i = 0; i < graph.num_ops(); ++i) {
+    const float center = rank[static_cast<std::size_t>(i)] *
+                         static_cast<float>(num_groups);
+    float* row = prior.row(i);
+    for (int g = 0; g < num_groups; ++g) {
+      const float d = center - (static_cast<float>(g) + 0.5f);
+      row[g] = -gamma * d * d;
+    }
+  }
+  return prior;
+}
+
+}  // namespace eagle::core

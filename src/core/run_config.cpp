@@ -1,0 +1,13 @@
+#include "core/run_config.h"
+
+namespace eagle::core {
+
+const char* AttentionVariantName(AttentionVariant variant) {
+  switch (variant) {
+    case AttentionVariant::kBefore: return "before";
+    case AttentionVariant::kAfter: return "after";
+  }
+  return "?";
+}
+
+}  // namespace eagle::core

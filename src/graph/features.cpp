@@ -1,0 +1,165 @@
+#include "graph/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace eagle::graph {
+
+namespace {
+// Compresses byte/FLOP magnitudes into ~[0, 4.5]; raw mode divides by a
+// fixed scale instead, which leaves large models with huge feature values
+// (one of HP's training pathologies EAGLE fixes).
+float Scale(double v, FeatureMode mode) {
+  if (mode == FeatureMode::kReconstructed) {
+    return static_cast<float>(std::log1p(v) / 10.0);
+  }
+  return static_cast<float>(v / 1e8);
+}
+}  // namespace
+
+std::vector<float> BuildOpFeatures(const OpGraph& graph, FeatureMode mode) {
+  const int dim = OpFeatureDim();
+  std::vector<float> out(static_cast<std::size_t>(graph.num_ops()) *
+                             static_cast<std::size_t>(dim),
+                         0.0f);
+  // Positional features: normalized topological rank and normalized
+  // longest-path depth from the sources.
+  const auto topo = graph.TopologicalOrder();
+  std::vector<float> rank(static_cast<std::size_t>(graph.num_ops()), 0.0f);
+  std::vector<int> depth(static_cast<std::size_t>(graph.num_ops()), 0);
+  int max_depth = 1;
+  for (std::size_t pos = 0; pos < topo.size(); ++pos) {
+    const OpId u = topo[pos];
+    rank[static_cast<std::size_t>(u)] =
+        topo.size() > 1
+            ? static_cast<float>(pos) / static_cast<float>(topo.size() - 1)
+            : 0.0f;
+    for (auto ei : graph.out_edges(u)) {
+      const OpId v = graph.edges()[static_cast<std::size_t>(ei)].dst;
+      depth[static_cast<std::size_t>(v)] =
+          std::max(depth[static_cast<std::size_t>(v)],
+                   depth[static_cast<std::size_t>(u)] + 1);
+      max_depth = std::max(max_depth, depth[static_cast<std::size_t>(v)]);
+    }
+  }
+  for (OpId i = 0; i < graph.num_ops(); ++i) {
+    const OpDef& op = graph.op(i);
+    float* row = out.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(dim);
+    row[static_cast<int>(op.type)] = 1.0f;
+    float* extra = row + kNumOpTypes;
+    extra[0] = Scale(static_cast<double>(op.output_bytes()), mode);
+    extra[1] = Scale(op.flops, mode);
+    extra[2] = Scale(static_cast<double>(op.param_bytes), mode);
+    const double in_deg = static_cast<double>(graph.in_edges(i).size());
+    const double out_deg = static_cast<double>(graph.out_edges(i).size());
+    if (mode == FeatureMode::kReconstructed) {
+      extra[3] = static_cast<float>(std::log1p(in_deg));
+      extra[4] = static_cast<float>(std::log1p(out_deg));
+    } else {
+      extra[3] = static_cast<float>(in_deg);
+      extra[4] = static_cast<float>(out_deg);
+    }
+    extra[5] = op.cpu_only ? 1.0f : 0.0f;
+    extra[6] = rank[static_cast<std::size_t>(i)];
+    extra[7] = static_cast<float>(depth[static_cast<std::size_t>(i)]) /
+               static_cast<float>(max_depth);
+  }
+  return out;
+}
+
+int GroupEmbeddingDim(int num_groups, bool include_adjacency) {
+  // type histogram + [log ops, log flops, log out bytes, log param bytes,
+  // has_cpu_only] + optional fused in/out adjacency row.
+  return kNumOpTypes + 5 + (include_adjacency ? num_groups : 0);
+}
+
+std::vector<float> BuildGroupEmbeddings(const GroupedGraph& grouped,
+                                        FeatureMode mode,
+                                        bool include_adjacency) {
+  const int k = grouped.num_groups();
+  const int dim = GroupEmbeddingDim(k, include_adjacency);
+  std::vector<float> out(static_cast<std::size_t>(k) *
+                             static_cast<std::size_t>(dim),
+                         0.0f);
+  for (int g = 0; g < k; ++g) {
+    const auto& info = grouped.group(g);
+    float* row = out.data() + static_cast<std::size_t>(g) * static_cast<std::size_t>(dim);
+    for (int t = 0; t < kNumOpTypes; ++t) {
+      const auto count = static_cast<double>(info.type_counts[static_cast<std::size_t>(t)]);
+      row[t] = mode == FeatureMode::kReconstructed
+                   ? static_cast<float>(std::log1p(count))
+                   : static_cast<float>(count);
+    }
+    float* extra = row + kNumOpTypes;
+    extra[0] = mode == FeatureMode::kReconstructed
+                   ? static_cast<float>(std::log1p(info.num_ops))
+                   : static_cast<float>(info.num_ops);
+    extra[1] = Scale(info.flops, mode);
+    extra[2] = Scale(static_cast<double>(info.output_bytes), mode);
+    extra[3] = Scale(static_cast<double>(info.param_bytes), mode);
+    extra[4] = info.has_cpu_only ? 1.0f : 0.0f;
+    if (include_adjacency) {
+      float* adj = extra + 5;
+      double total = 0.0;
+      for (int h = 0; h < k; ++h) {
+        total += static_cast<double>(grouped.TrafficBetween(g, h) +
+                                     grouped.TrafficBetween(h, g));
+      }
+      for (int h = 0; h < k; ++h) {
+        const double w = static_cast<double>(grouped.TrafficBetween(g, h) +
+                                             grouped.TrafficBetween(h, g));
+        if (mode == FeatureMode::kReconstructed) {
+          adj[h] = total > 0.0 ? static_cast<float>(w / total) : 0.0f;
+        } else {
+          adj[h] = Scale(w, mode);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> BuildNormalizedGroupAdjacency(const GroupedGraph& grouped) {
+  const int k = grouped.num_groups();
+  std::vector<double> a(static_cast<std::size_t>(k) * static_cast<std::size_t>(k), 0.0);
+  for (int g = 0; g < k; ++g) {
+    for (int h = 0; h < k; ++h) {
+      const double w = static_cast<double>(grouped.TrafficBetween(g, h) +
+                                           grouped.TrafficBetween(h, g));
+      if (w > 0.0) {
+        // Binarized connectivity keeps the spectrum well-conditioned;
+        // traffic magnitudes already live in the node features.
+        a[static_cast<std::size_t>(g) * static_cast<std::size_t>(k) +
+          static_cast<std::size_t>(h)] = 1.0;
+      }
+    }
+    a[static_cast<std::size_t>(g) * static_cast<std::size_t>(k) +
+      static_cast<std::size_t>(g)] = 1.0;  // self loop
+  }
+  // D^{-1/2} A D^{-1/2}
+  std::vector<double> deg(static_cast<std::size_t>(k), 0.0);
+  for (int g = 0; g < k; ++g)
+    for (int h = 0; h < k; ++h)
+      deg[static_cast<std::size_t>(g)] +=
+          a[static_cast<std::size_t>(g) * static_cast<std::size_t>(k) +
+            static_cast<std::size_t>(h)];
+  std::vector<float> out(static_cast<std::size_t>(k) * static_cast<std::size_t>(k), 0.0f);
+  for (int g = 0; g < k; ++g) {
+    for (int h = 0; h < k; ++h) {
+      const double w =
+          a[static_cast<std::size_t>(g) * static_cast<std::size_t>(k) +
+            static_cast<std::size_t>(h)];
+      if (w > 0.0) {
+        out[static_cast<std::size_t>(g) * static_cast<std::size_t>(k) +
+            static_cast<std::size_t>(h)] = static_cast<float>(
+            w / std::sqrt(deg[static_cast<std::size_t>(g)] *
+                          deg[static_cast<std::size_t>(h)]));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace eagle::graph

@@ -1,0 +1,49 @@
+// State-vector construction for the RL agent.
+//
+// The paper highlights "reconstructing the state vectors fed into the RL
+// agent" (§I) as one of EAGLE's optimizations. Two encodings are provided:
+//   - kRaw:            HP-style raw counts and byte sums;
+//   - kReconstructed:  EAGLE-style log-scaled volumes and degree-normalized
+//                      adjacency, which keep features in a small dynamic
+//                      range across models whose tensors span 6 orders of
+//                      magnitude.
+// Per-op features feed the grouper; per-group embeddings feed the placer.
+#pragma once
+
+#include <vector>
+
+#include "graph/grouped_graph.h"
+#include "graph/op_graph.h"
+
+namespace eagle::graph {
+
+enum class FeatureMode {
+  kRaw,            // Hierarchical-Planner style
+  kReconstructed,  // EAGLE style (log scaling + normalization)
+};
+
+// Per-op feature dimensionality: one-hot type + [log out bytes, log flops,
+// log param bytes, in degree, out degree, cpu_only, topo position, depth].
+// The last two are the adjacency/position part of the paper's grouper
+// input: without them two ops of the same type and shape are
+// indistinguishable and a learned grouper cannot form topologically
+// contiguous (communication-cheap) groups.
+inline constexpr int kOpFeatureExtra = 8;
+inline constexpr int OpFeatureDim() { return kNumOpTypes + kOpFeatureExtra; }
+
+// Row-major [num_ops × OpFeatureDim()].
+std::vector<float> BuildOpFeatures(const OpGraph& graph, FeatureMode mode);
+
+// Per-group embedding (§III-C): type histogram ⊕ output-shape aggregate ⊕
+// optional adjacency row over groups (the GCN placer takes adjacency as a
+// separate matrix instead — pass include_adjacency=false there).
+int GroupEmbeddingDim(int num_groups, bool include_adjacency);
+std::vector<float> BuildGroupEmbeddings(const GroupedGraph& grouped,
+                                        FeatureMode mode,
+                                        bool include_adjacency);
+
+// Symmetric, row-normalized group adjacency with self-loops (Â of Kipf &
+// Welling) used by the GCN placer. Row-major [num_groups × num_groups].
+std::vector<float> BuildNormalizedGroupAdjacency(const GroupedGraph& grouped);
+
+}  // namespace eagle::graph

@@ -1,0 +1,165 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace eagle::graph {
+
+std::string ToDot(const OpGraph& graph, const Grouping* grouping) {
+  std::ostringstream os;
+  os << "digraph G {\n  rankdir=TB;\n  node [shape=box, fontsize=9];\n";
+  for (OpId i = 0; i < graph.num_ops(); ++i) {
+    const OpDef& op = graph.op(i);
+    os << "  n" << i << " [label=\"" << op.name << "\\n"
+       << OpTypeName(op.type) << " " << op.output_shape.ToString() << "\"";
+    if (grouping) {
+      // 12-color cycle; groups beyond 12 share hues (visual aid only).
+      static const char* kColors[] = {
+          "#a6cee3", "#1f78b4", "#b2df8a", "#33a02c", "#fb9a99", "#e31a1c",
+          "#fdbf6f", "#ff7f00", "#cab2d6", "#6a3d9a", "#ffff99", "#b15928"};
+      os << ", style=filled, fillcolor=\""
+         << kColors[(*grouping)[static_cast<std::size_t>(i)] % 12] << "\"";
+    }
+    os << "];\n";
+  }
+  for (const Edge& e : graph.edges()) {
+    os << "  n" << e.src << " -> n" << e.dst << " [label=\""
+       << (e.bytes >> 10) << "KB\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ToJson(const OpGraph& graph) {
+  std::ostringstream os;
+  os << "{\"ops\":[";
+  for (OpId i = 0; i < graph.num_ops(); ++i) {
+    const OpDef& op = graph.op(i);
+    if (i) os << ",";
+    os << "{\"name\":\"" << op.name << "\",\"type\":\"" << OpTypeName(op.type)
+       << "\",\"shape\":" << op.output_shape.ToString()
+       << ",\"flops\":" << op.flops << ",\"param_bytes\":" << op.param_bytes
+       << ",\"cpu_only\":" << (op.cpu_only ? "true" : "false")
+       << ",\"is_gradient\":" << (op.is_gradient ? "true" : "false")
+       << ",\"layer\":\"" << op.layer << "\"}";
+  }
+  os << "],\"edges\":[";
+  for (int i = 0; i < graph.num_edges(); ++i) {
+    const Edge& e = graph.edges()[static_cast<std::size_t>(i)];
+    if (i) os << ",";
+    os << "{\"src\":" << e.src << ",\"dst\":" << e.dst
+       << ",\"bytes\":" << e.bytes << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void SaveText(const OpGraph& graph, std::ostream& out) {
+  out << "# eagle graph, " << graph.num_ops() << " ops, " << graph.num_edges()
+      << " edges\n";
+  for (OpId i = 0; i < graph.num_ops(); ++i) {
+    const OpDef& op = graph.op(i);
+    out << "op " << op.name << " " << OpTypeName(op.type) << " ";
+    const auto& dims = op.output_shape.dims();
+    if (dims.empty()) {
+      out << "scalar";
+    } else {
+      for (std::size_t d = 0; d < dims.size(); ++d) {
+        if (d) out << "x";
+        out << dims[d];
+      }
+    }
+    out << " flops=" << op.flops << " params=" << op.param_bytes;
+    if (op.cpu_only) out << " cpu_only";
+    if (op.is_gradient) out << " grad";
+    if (!op.layer.empty()) out << " layer=" << op.layer;
+    out << "\n";
+  }
+  for (const Edge& e : graph.edges()) {
+    out << "edge " << graph.op(e.src).name << " " << graph.op(e.dst).name
+        << " " << e.bytes << "\n";
+  }
+}
+
+OpGraph LoadText(std::istream& in) {
+  OpGraph graph;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "op") {
+      OpDef op;
+      std::string type_name, shape_str;
+      ls >> op.name >> type_name >> shape_str;
+      EAGLE_CHECK_MSG(ls, "malformed op line " << lineno);
+      op.type = OpTypeFromName(type_name);
+      EAGLE_CHECK_MSG(op.type != OpType::kNumOpTypes,
+                      "unknown op type '" << type_name << "' at line "
+                                          << lineno);
+      if (shape_str != "scalar") {
+        std::vector<std::int64_t> dims;
+        std::istringstream ss(shape_str);
+        std::string tok;
+        while (std::getline(ss, tok, 'x')) dims.push_back(std::stoll(tok));
+        op.output_shape = TensorShape(std::move(dims));
+      }
+      std::string attr;
+      while (ls >> attr) {
+        if (attr.rfind("flops=", 0) == 0) {
+          op.flops = std::stod(attr.substr(6));
+        } else if (attr.rfind("params=", 0) == 0) {
+          op.param_bytes = std::stoll(attr.substr(7));
+        } else if (attr == "cpu_only") {
+          op.cpu_only = true;
+        } else if (attr == "grad") {
+          op.is_gradient = true;
+        } else if (attr.rfind("layer=", 0) == 0) {
+          op.layer = attr.substr(6);
+        } else {
+          EAGLE_CHECK_MSG(false,
+                          "unknown attribute '" << attr << "' at line "
+                                                << lineno);
+        }
+      }
+      graph.AddOp(std::move(op));
+    } else if (kind == "edge") {
+      std::string src, dst;
+      std::int64_t bytes = -1;
+      ls >> src >> dst;
+      EAGLE_CHECK_MSG(ls, "malformed edge line " << lineno);
+      ls >> bytes;  // optional; stays -1 (producer size) if absent
+      const OpId s = graph.FindOp(src);
+      const OpId d = graph.FindOp(dst);
+      EAGLE_CHECK_MSG(s != kInvalidOp, "unknown op '" << src << "' at line "
+                                                      << lineno);
+      EAGLE_CHECK_MSG(d != kInvalidOp, "unknown op '" << dst << "' at line "
+                                                      << lineno);
+      graph.AddEdge(s, d, bytes);
+    } else {
+      EAGLE_CHECK_MSG(false, "unknown directive '" << kind << "' at line "
+                                                   << lineno);
+    }
+  }
+  return graph;
+}
+
+bool SaveTextFile(const OpGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  SaveText(graph, out);
+  return static_cast<bool>(out);
+}
+
+OpGraph LoadTextFile(const std::string& path) {
+  std::ifstream in(path);
+  EAGLE_CHECK_MSG(in, "cannot open graph file " << path);
+  return LoadText(in);
+}
+
+}  // namespace eagle::graph

@@ -1,0 +1,31 @@
+// Graph serialization: DOT (for visualization), JSON (for external
+// tooling), and a line-based ".eg" text format that round-trips through
+// SaveText/LoadText so users can define custom graphs in a file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/grouped_graph.h"
+#include "graph/op_graph.h"
+
+namespace eagle::graph {
+
+// Graphviz DOT; groups color nodes when a grouping is supplied.
+std::string ToDot(const OpGraph& graph, const Grouping* grouping = nullptr);
+
+// Compact JSON (write-only; consumed by plotting scripts, not re-read).
+std::string ToJson(const OpGraph& graph);
+
+// .eg text format:
+//   op <name> <type> <shape d0xd1x...> flops=<f> params=<b> [cpu_only]
+//       [grad] [layer=<tag>]
+//   edge <src_name> <dst_name> [bytes]
+// Lines starting with '#' are comments.
+void SaveText(const OpGraph& graph, std::ostream& out);
+OpGraph LoadText(std::istream& in);
+
+bool SaveTextFile(const OpGraph& graph, const std::string& path);
+OpGraph LoadTextFile(const std::string& path);
+
+}  // namespace eagle::graph

@@ -1,0 +1,41 @@
+#include "graph/tensor_shape.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace eagle::graph {
+
+TensorShape::TensorShape(std::initializer_list<std::int64_t> dims)
+    : dims_(dims) {
+  for (auto d : dims_) EAGLE_CHECK_MSG(d >= 0, "negative dim " << d);
+}
+
+TensorShape::TensorShape(std::vector<std::int64_t> dims)
+    : dims_(std::move(dims)) {
+  for (auto d : dims_) EAGLE_CHECK_MSG(d >= 0, "negative dim " << d);
+}
+
+std::int64_t TensorShape::dim(int i) const {
+  EAGLE_CHECK(i >= 0 && i < rank());
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t TensorShape::NumElements() const {
+  std::int64_t n = 1;
+  for (auto d : dims_) n *= d;
+  return n;
+}
+
+std::string TensorShape::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ",";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace eagle::graph

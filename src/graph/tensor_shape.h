@@ -1,0 +1,41 @@
+// Tensor shapes attached to operation outputs.
+//
+// Shapes drive both the communication model (bytes moved across devices)
+// and the agent's state vectors (EAGLE feeds log-scaled output volumes to
+// the grouper/placer, §III-C).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace eagle::graph {
+
+class TensorShape {
+ public:
+  TensorShape() = default;
+  TensorShape(std::initializer_list<std::int64_t> dims);
+  explicit TensorShape(std::vector<std::int64_t> dims);
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  std::int64_t dim(int i) const;
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  // Product of dimensions; 1 for scalars (rank 0).
+  std::int64_t NumElements() const;
+
+  // Size in bytes assuming 4-byte (fp32) elements, the paper's setting.
+  std::int64_t Bytes() const { return NumElements() * 4; }
+
+  std::string ToString() const;
+
+  bool operator==(const TensorShape& other) const {
+    return dims_ == other.dims_;
+  }
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace eagle::graph

@@ -1,0 +1,184 @@
+#include "models/bert.h"
+
+#include <string>
+#include <vector>
+
+#include "models/builder.h"
+#include "models/op_cost.h"
+#include "models/training_graph.h"
+#include "support/check.h"
+
+namespace eagle::models {
+
+using graph::OpId;
+using graph::OpType;
+using graph::TensorShape;
+
+namespace {
+
+class BertBuilder {
+ public:
+  explicit BertBuilder(const BertConfig& config) : c_(config) {}
+
+  graph::OpGraph Build() {
+    const std::int64_t tokens =
+        static_cast<std::int64_t>(c_.batch) * c_.seq_len;
+    const std::int64_t h = c_.hidden;
+
+    // --- embeddings: wordpiece + position + segment, CPU-pinned lookups ---
+    b_.SetLayerScope("embeddings");
+    OpId word_table =
+        Dense("word_embeddings", static_cast<std::int64_t>(c_.vocab) * h * 4);
+    OpId word = b_.Add(OpType::kEmbeddingLookup, "word_lookup",
+                       TensorShape{tokens, h}, {},
+                       {.flops = ElementwiseFlops(tokens * h), .cpu_only = true});
+    b_.Wire(word_table, word, tokens * h * 4);
+    OpId pos = b_.Add(OpType::kEmbeddingLookup, "position_lookup",
+                      TensorShape{tokens, h}, {},
+                      {.flops = ElementwiseFlops(tokens * h),
+                       .param_bytes = 512 * h * 4,
+                       .cpu_only = true});
+    OpId seg = b_.Add(OpType::kEmbeddingLookup, "segment_lookup",
+                      TensorShape{tokens, h}, {},
+                      {.flops = ElementwiseFlops(tokens * h),
+                       .param_bytes = 2 * h * 4,
+                       .cpu_only = true});
+    OpId emb_sum = b_.Add(OpType::kAdd, "embedding_sum",
+                          TensorShape{tokens, h}, {word, pos, seg},
+                          {.flops = ElementwiseFlops(tokens * h * 2)});
+    OpId x = LayerNorm("embedding_ln", emb_sum);
+
+    // --- transformer stack ---
+    for (int layer = 0; layer < c_.layers; ++layer) {
+      x = TransformerLayer(layer, x);
+    }
+
+    // --- masked-LM head ---
+    b_.SetLayerScope("mlm_head");
+    OpId transform = b_.Add(
+        OpType::kMatMul, "mlm_transform", TensorShape{tokens, h}, {x},
+        {.flops = MatMulFlops(tokens, h, h), .param_bytes = DenseParamBytes(h, h)});
+    OpId gelu = b_.Add(OpType::kGelu, "mlm_gelu", TensorShape{tokens, h},
+                       {transform}, {.flops = ElementwiseFlops(tokens * h * 8)});
+    OpId norm = LayerNorm("mlm_ln", gelu);
+    OpId logits = b_.Add(
+        OpType::kMatMul, "mlm_logits", TensorShape{tokens, c_.vocab}, {norm},
+        {.flops = MatMulFlops(tokens, h, c_.vocab)});
+    b_.Wire(word_table, logits,
+            static_cast<std::int64_t>(c_.vocab) * h * 4);  // tied weights
+    OpId labels = b_.Add(OpType::kPlaceholder, "mlm_labels",
+                         TensorShape{tokens}, {}, {.cpu_only = true});
+    OpId loss = b_.Add(OpType::kCrossEntropy, "loss", TensorShape{1},
+                       {logits, labels},
+                       {.flops = ElementwiseFlops(tokens * c_.vocab * 4)});
+
+    graph::OpGraph graph = b_.TakeGraph();
+    if (c_.training) AddTrainingOps(graph, loss);
+    return graph;
+  }
+
+ private:
+  // A parameter-holding Variable op (weights read by compute ops).
+  OpId Dense(const std::string& name, std::int64_t param_bytes) {
+    return b_.Add(OpType::kVariable, name, TensorShape{1}, {},
+                  {.param_bytes = param_bytes});
+  }
+
+  OpId LayerNorm(const std::string& name, OpId input) {
+    const auto shape = b_.graph().op(input).output_shape;
+    const std::int64_t n = shape.NumElements();
+    return b_.Add(OpType::kLayerNorm, name, shape, {input},
+                  {.flops = ElementwiseFlops(n * 6),
+                   .param_bytes = shape.dim(shape.rank() - 1) * 2 * 4});
+  }
+
+  OpId TransformerLayer(int layer, OpId x) {
+    const std::string scope = "layer" + std::to_string(layer);
+    const std::int64_t tokens =
+        static_cast<std::int64_t>(c_.batch) * c_.seq_len;
+    const std::int64_t h = c_.hidden;
+    const std::int64_t dh = h / c_.heads;  // per-head dim
+    const std::int64_t bs = c_.batch;      // batch of attention matrices
+    const std::int64_t s = c_.seq_len;
+
+    // --- multi-head self-attention ---
+    b_.SetLayerScope(scope + "/attention");
+    auto proj = [&](const std::string& name) {
+      return b_.Add(OpType::kMatMul, scope + "/" + name,
+                    TensorShape{tokens, h}, {x},
+                    {.flops = MatMulFlops(tokens, h, h),
+                     .param_bytes = DenseParamBytes(h, h)});
+    };
+    OpId q = proj("q_proj");
+    OpId k = proj("k_proj");
+    OpId v = proj("v_proj");
+
+    std::vector<OpId> heads;
+    heads.reserve(static_cast<std::size_t>(c_.heads));
+    for (int head = 0; head < c_.heads; ++head) {
+      const std::string hs = scope + "/head" + std::to_string(head);
+      // Per-head Q/K slices flow as (tokens × dh) tensors.
+      OpId scores =
+          b_.Add(OpType::kBatchMatMul, hs + "/scores",
+                 TensorShape{bs, s, s}, {},
+                 {.flops = MatMulFlops(bs * s, dh, s)});
+      b_.Wire(q, scores, tokens * dh * 4);
+      b_.Wire(k, scores, tokens * dh * 4);
+      OpId probs = b_.Add(OpType::kSoftmax, hs + "/probs",
+                          TensorShape{bs, s, s}, {scores},
+                          {.flops = ElementwiseFlops(bs * s * s * 3)});
+      OpId context = b_.Add(OpType::kBatchMatMul, hs + "/context",
+                            TensorShape{tokens, dh}, {probs},
+                            {.flops = MatMulFlops(bs * s, s, dh)});
+      b_.Wire(v, context, tokens * dh * 4);
+      heads.push_back(context);
+    }
+    OpId concat = b_.Add(OpType::kConcat, scope + "/head_concat",
+                         TensorShape{tokens, h}, heads,
+                         {.flops = ElementwiseFlops(tokens * h)});
+    OpId attn_out = b_.Add(OpType::kMatMul, scope + "/attn_out",
+                           TensorShape{tokens, h}, {concat},
+                           {.flops = MatMulFlops(tokens, h, h),
+                            .param_bytes = DenseParamBytes(h, h)});
+    OpId drop1 = b_.Add(OpType::kDropout, scope + "/attn_dropout",
+                        TensorShape{tokens, h}, {attn_out},
+                        {.flops = ElementwiseFlops(tokens * h)});
+    OpId res1 = b_.Add(OpType::kAdd, scope + "/attn_residual",
+                       TensorShape{tokens, h}, {drop1, x},
+                       {.flops = ElementwiseFlops(tokens * h)});
+    OpId ln1 = LayerNorm(scope + "/attn_ln", res1);
+
+    // --- feed-forward ---
+    b_.SetLayerScope(scope + "/ffn");
+    OpId ffn1 = b_.Add(OpType::kMatMul, scope + "/ffn_in",
+                       TensorShape{tokens, c_.ffn_dim}, {ln1},
+                       {.flops = MatMulFlops(tokens, h, c_.ffn_dim),
+                        .param_bytes = DenseParamBytes(h, c_.ffn_dim)});
+    OpId gelu = b_.Add(OpType::kGelu, scope + "/ffn_gelu",
+                       TensorShape{tokens, c_.ffn_dim}, {ffn1},
+                       {.flops = ElementwiseFlops(tokens * c_.ffn_dim * 8)});
+    OpId ffn2 = b_.Add(OpType::kMatMul, scope + "/ffn_out",
+                       TensorShape{tokens, h}, {gelu},
+                       {.flops = MatMulFlops(tokens, c_.ffn_dim, h),
+                        .param_bytes = DenseParamBytes(c_.ffn_dim, h)});
+    OpId drop2 = b_.Add(OpType::kDropout, scope + "/ffn_dropout",
+                        TensorShape{tokens, h}, {ffn2},
+                        {.flops = ElementwiseFlops(tokens * h)});
+    OpId res2 = b_.Add(OpType::kAdd, scope + "/ffn_residual",
+                       TensorShape{tokens, h}, {drop2, ln1},
+                       {.flops = ElementwiseFlops(tokens * h)});
+    return LayerNorm(scope + "/ffn_ln", res2);
+  }
+
+  BertConfig c_;
+  GraphBuilder b_;
+};
+
+}  // namespace
+
+graph::OpGraph BuildBertBase(const BertConfig& config) {
+  EAGLE_CHECK(config.hidden % config.heads == 0);
+  return BertBuilder(config).Build();
+}
+
+}  // namespace eagle::models

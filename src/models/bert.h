@@ -1,0 +1,27 @@
+// BERT-Base training-graph builder (Devlin et al., 2019).
+//
+// The paper's "very large" benchmark: BERT-Base, max sequence length 384,
+// batch size 24 (§IV-A) — a configuration that cannot fit on a single
+// 12 GB GPU but trains when spread across four. Attention is decomposed
+// per head (as the TF graph does), which is what pushes the op count and
+// gives the placer fine-grained parallelism to exploit.
+#pragma once
+
+#include "graph/op_graph.h"
+
+namespace eagle::models {
+
+struct BertConfig {
+  int batch = 24;
+  int seq_len = 384;
+  int hidden = 768;
+  int layers = 12;
+  int heads = 12;
+  int ffn_dim = 3072;
+  int vocab = 30522;
+  bool training = true;
+};
+
+graph::OpGraph BuildBertBase(const BertConfig& config = {});
+
+}  // namespace eagle::models

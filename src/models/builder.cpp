@@ -1,0 +1,35 @@
+#include "models/builder.h"
+
+#include "support/check.h"
+
+namespace eagle::models {
+
+std::string GraphBuilder::UniqueName(const std::string& base) {
+  if (graph_.FindOp(base) == graph::kInvalidOp) return base;
+  for (int i = 1;; ++i) {
+    std::string candidate = base + "_" + std::to_string(i);
+    if (graph_.FindOp(candidate) == graph::kInvalidOp) return candidate;
+  }
+}
+
+graph::OpId GraphBuilder::Add(graph::OpType type, const std::string& name,
+                              graph::TensorShape shape,
+                              const std::vector<graph::OpId>& inputs,
+                              Opts opts) {
+  graph::OpDef op;
+  op.name = UniqueName(name);
+  op.type = type;
+  op.output_shape = std::move(shape);
+  op.flops = opts.flops;
+  op.param_bytes = opts.param_bytes;
+  op.cpu_only = opts.cpu_only;
+  op.layer = opts.layer.empty() ? layer_scope_ : opts.layer;
+  const graph::OpId id = graph_.AddOp(std::move(op));
+  for (graph::OpId input : inputs) {
+    EAGLE_CHECK_MSG(input != graph::kInvalidOp, "invalid input to " << name);
+    graph_.AddEdge(input, id);
+  }
+  return id;
+}
+
+}  // namespace eagle::models

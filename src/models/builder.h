@@ -1,0 +1,56 @@
+// GraphBuilder: a fluent helper for constructing OpGraphs.
+//
+// Model builders (Inception-V3 / GNMT / BERT) use this to keep op naming
+// unique, wire data edges from producer ops, and tag layers for human-
+// expert placements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/op_graph.h"
+
+namespace eagle::models {
+
+// Optional attributes for GraphBuilder::Add (designated-initializer
+// friendly).
+struct OpOpts {
+  double flops = 0.0;
+  std::int64_t param_bytes = 0;
+  bool cpu_only = false;
+  std::string layer;
+};
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  using Opts = OpOpts;
+
+  // Adds an op named "<name>" (made unique with a numeric suffix if taken)
+  // whose inputs are the given producer ops. Each input contributes an
+  // edge carrying the producer's full output size.
+  graph::OpId Add(graph::OpType type, const std::string& name,
+                  graph::TensorShape shape,
+                  const std::vector<graph::OpId>& inputs, OpOpts opts = {});
+
+  // Adds an edge with explicit byte count (e.g. sliced tensors).
+  void Wire(graph::OpId src, graph::OpId dst, std::int64_t bytes = -1) {
+    graph_.AddEdge(src, dst, bytes);
+  }
+
+  // Sets the default layer tag applied when Opts::layer is empty.
+  void SetLayerScope(std::string scope) { layer_scope_ = std::move(scope); }
+
+  const graph::OpGraph& graph() const { return graph_; }
+  graph::OpGraph TakeGraph() { return std::move(graph_); }
+
+ private:
+  std::string UniqueName(const std::string& base);
+
+  graph::OpGraph graph_;
+  std::string layer_scope_;
+};
+
+}  // namespace eagle::models

@@ -1,0 +1,267 @@
+#include "models/gnmt.h"
+
+#include <string>
+#include <vector>
+
+#include "models/builder.h"
+#include "models/op_cost.h"
+#include "models/training_graph.h"
+#include "support/check.h"
+
+namespace eagle::models {
+
+using graph::OpId;
+using graph::OpType;
+using graph::TensorShape;
+
+namespace {
+
+class GnmtBuilder {
+ public:
+  explicit GnmtBuilder(const GnmtConfig& config) : c_(config) {}
+
+  graph::OpGraph Build() {
+    const std::int64_t b = c_.batch;
+    const std::int64_t h = c_.hidden;
+    const std::int64_t s = c_.seq_len;
+
+    // --- embeddings (CPU-pinned lookups, as in the paper's baselines) ---
+    b_.SetLayerScope("embedding");
+    OpId src_table = Variable("src_embedding", c_.vocab * h * 4, true);
+    OpId tgt_table = Variable("tgt_embedding", c_.vocab * h * 4, true);
+
+    std::vector<OpId> src_emb(static_cast<std::size_t>(s));
+    std::vector<OpId> tgt_emb(static_cast<std::size_t>(s));
+    for (int t = 0; t < s; ++t) {
+      src_emb[static_cast<std::size_t>(t)] =
+          Lookup("src_lookup_t" + std::to_string(t), src_table);
+      tgt_emb[static_cast<std::size_t>(t)] =
+          Lookup("tgt_lookup_t" + std::to_string(t), tgt_table);
+    }
+
+    // --- encoder: layer 0 bidirectional, layers 1..L-1 unidirectional,
+    //     residual connections from layer 2 on (GNMT §3) ---
+    std::vector<OpId> enc = src_emb;
+    {
+      b_.SetLayerScope("encoder/lstm0");
+      auto fwd = RunLstmLayer("enc0f", enc, h, /*reverse=*/false);
+      auto bwd = RunLstmLayer("enc0b", enc, h, /*reverse=*/true);
+      std::vector<OpId> merged(static_cast<std::size_t>(s));
+      for (int t = 0; t < s; ++t) {
+        merged[static_cast<std::size_t>(t)] = b_.Add(
+            OpType::kConcat, "enc0_concat_t" + std::to_string(t),
+            TensorShape{b, 2 * h},
+            {fwd[static_cast<std::size_t>(t)], bwd[static_cast<std::size_t>(t)]},
+            {.flops = ElementwiseFlops(b * 2 * h)});
+      }
+      enc = merged;
+    }
+    for (int layer = 1; layer < c_.layers; ++layer) {
+      b_.SetLayerScope("encoder/lstm" + std::to_string(layer));
+      auto out = RunLstmLayer("enc" + std::to_string(layer), enc, h, false);
+      if (layer >= 2) {
+        for (int t = 0; t < s; ++t) {
+          out[static_cast<std::size_t>(t)] = b_.Add(
+              OpType::kAdd, "enc" + std::to_string(layer) + "_res_t" + std::to_string(t),
+              TensorShape{b, h},
+              {out[static_cast<std::size_t>(t)], enc[static_cast<std::size_t>(t)]},
+              {.flops = ElementwiseFlops(b * h)});
+        }
+      }
+      enc = out;
+    }
+
+    // Encoder memory: all top-layer states stacked for attention reads.
+    b_.SetLayerScope("attention");
+    OpId enc_states =
+        b_.Add(OpType::kConcat, "enc_states", TensorShape{b, s, h}, enc,
+               {.flops = ElementwiseFlops(b * s * h)});
+    OpId attn_w = Variable("attention_w", 2 * h * h * 4, false);
+
+    // --- decoder ---
+    // Layer 0 consumes [embedding ; previous attention context]; attention
+    // is computed from layer 0's output, GNMT-style.
+    std::vector<std::vector<OpId>> dec_h(
+        static_cast<std::size_t>(c_.layers),
+        std::vector<OpId>(static_cast<std::size_t>(s)));
+    std::vector<OpId> contexts(static_cast<std::size_t>(s));
+
+    std::vector<OpId> weights(static_cast<std::size_t>(c_.layers));
+    for (int layer = 0; layer < c_.layers; ++layer) {
+      b_.SetLayerScope("decoder/lstm" + std::to_string(layer));
+      const std::int64_t in_dim = layer == 0 ? 2 * h : h;
+      weights[static_cast<std::size_t>(layer)] =
+          Variable("dec" + std::to_string(layer) + "_w",
+                   LstmCellParamBytes(in_dim, h), false);
+    }
+
+    OpId prev_context = graph::kInvalidOp;
+    std::vector<OpId> prev_h(static_cast<std::size_t>(c_.layers),
+                             graph::kInvalidOp);
+    std::vector<OpId> prev_c(static_cast<std::size_t>(c_.layers),
+                             graph::kInvalidOp);
+    for (int t = 0; t < s; ++t) {
+      // Layer 0 input: [y_emb_t ; context_{t-1}].
+      b_.SetLayerScope("decoder/lstm0");
+      std::vector<OpId> l0_inputs{tgt_emb[static_cast<std::size_t>(t)]};
+      if (prev_context != graph::kInvalidOp) l0_inputs.push_back(prev_context);
+      OpId x = b_.Add(OpType::kConcat, "dec0_in_t" + std::to_string(t),
+                      TensorShape{b, 2 * h}, l0_inputs,
+                      {.flops = ElementwiseFlops(b * 2 * h)});
+      OpId carry = x;
+      for (int layer = 0; layer < c_.layers; ++layer) {
+        b_.SetLayerScope("decoder/lstm" + std::to_string(layer));
+        const std::int64_t in_dim = layer == 0 ? 2 * h : h;
+        auto [h_out, c_out] = LstmCell(
+            "dec" + std::to_string(layer) + "_t" + std::to_string(t), carry,
+            prev_h[static_cast<std::size_t>(layer)],
+            prev_c[static_cast<std::size_t>(layer)],
+            weights[static_cast<std::size_t>(layer)], in_dim, h);
+        if (layer >= 2) {
+          h_out = b_.Add(OpType::kAdd,
+                         "dec" + std::to_string(layer) + "_res_t" + std::to_string(t),
+                         TensorShape{b, h}, {h_out, carry},
+                         {.flops = ElementwiseFlops(b * h)});
+        }
+        prev_h[static_cast<std::size_t>(layer)] = h_out;
+        prev_c[static_cast<std::size_t>(layer)] = c_out;
+        dec_h[static_cast<std::size_t>(layer)][static_cast<std::size_t>(t)] =
+            h_out;
+        carry = h_out;
+
+        // Attention from layer 0's output, context fed forward in time.
+        if (layer == 0) {
+          b_.SetLayerScope("attention");
+          OpId scores = b_.Add(
+              OpType::kMatMul, "attn_scores_t" + std::to_string(t),
+              TensorShape{b, s}, {h_out, enc_states, attn_w},
+              {.flops = MatMulFlops(b, h, h) + MatMulFlops(b, h, s)});
+          OpId probs = b_.Add(OpType::kSoftmax,
+                              "attn_probs_t" + std::to_string(t),
+                              TensorShape{b, s}, {scores},
+                              {.flops = ElementwiseFlops(b * s * 3)});
+          contexts[static_cast<std::size_t>(t)] = b_.Add(
+              OpType::kMatMul, "attn_context_t" + std::to_string(t),
+              TensorShape{b, h}, {probs, enc_states},
+              {.flops = MatMulFlops(b, s, h)});
+          prev_context = contexts[static_cast<std::size_t>(t)];
+        }
+      }
+    }
+
+    // --- vocabulary projection + loss ---
+    b_.SetLayerScope("softmax");
+    OpId proj_w = Variable("projection_w", h * c_.vocab * 4, false);
+    std::vector<OpId> xents(static_cast<std::size_t>(s));
+    OpId labels = b_.Add(OpType::kPlaceholder, "labels", TensorShape{b, s}, {},
+                         {.cpu_only = true});
+    for (int t = 0; t < s; ++t) {
+      OpId logits = b_.Add(
+          OpType::kMatMul, "logits_t" + std::to_string(t),
+          TensorShape{b, c_.vocab},
+          {dec_h[static_cast<std::size_t>(c_.layers - 1)][static_cast<std::size_t>(t)],
+           proj_w},
+          {.flops = MatMulFlops(b, h, c_.vocab)});
+      // The softmax output is materialized and saved for the backward pass
+      // (as tf's softmax_cross_entropy does) — at batch 256 these B×V
+      // tensors are what pushes the model past a single 12 GB card.
+      OpId probs = b_.Add(OpType::kSoftmax, "probs_t" + std::to_string(t),
+                          TensorShape{b, c_.vocab}, {logits},
+                          {.flops = ElementwiseFlops(b * c_.vocab * 3)});
+      xents[static_cast<std::size_t>(t)] =
+          b_.Add(OpType::kCrossEntropy, "xent_t" + std::to_string(t),
+                 TensorShape{b}, {probs, labels},
+                 {.flops = ElementwiseFlops(b * c_.vocab)});
+    }
+    OpId loss = b_.Add(OpType::kReduceSum, "loss", TensorShape{1}, xents,
+                       {.flops = ElementwiseFlops(b * s)});
+
+    graph::OpGraph graph = b_.TakeGraph();
+    if (c_.training) AddTrainingOps(graph, loss);
+    return graph;
+  }
+
+ private:
+  OpId Variable(const std::string& name, std::int64_t param_bytes,
+                bool cpu_only) {
+    return b_.Add(OpType::kVariable, name, TensorShape{1},  // handle only
+                  {}, {.param_bytes = param_bytes, .cpu_only = cpu_only});
+  }
+
+  OpId Lookup(const std::string& name, OpId table) {
+    const std::int64_t b = c_.batch;
+    const std::int64_t h = c_.hidden;
+    OpId lookup =
+        b_.Add(OpType::kEmbeddingLookup, name, TensorShape{b, h}, {},
+               {.flops = ElementwiseFlops(b * h), .cpu_only = true});
+    // The lookup reads `batch` rows of the table, not the whole tensor.
+    b_.Wire(table, lookup, b * h * 4);
+    return lookup;
+  }
+
+  // One LSTM step as 4 ops: concat(x,h) -> gate matmul (reads the shared
+  // layer weights) -> fused gate nonlinearity -> fused state update.
+  // Returns (h_out, c_out): c_out feeds the next timestep's state update
+  // directly, h_out feeds the next timestep's concat and the layer above.
+  std::pair<OpId, OpId> LstmCell(const std::string& prefix, OpId x,
+                                 OpId h_prev, OpId c_prev, OpId weights,
+                                 std::int64_t in_dim, std::int64_t hidden) {
+    const std::int64_t b = c_.batch;
+    std::vector<OpId> cat_in{x};
+    if (h_prev != graph::kInvalidOp) cat_in.push_back(h_prev);
+    OpId cat = b_.Add(OpType::kConcat, prefix + "_xh",
+                      TensorShape{b, in_dim + hidden}, cat_in,
+                      {.flops = ElementwiseFlops(b * (in_dim + hidden))});
+    OpId gates = b_.Add(OpType::kMatMul, prefix + "_gates",
+                        TensorShape{b, 4 * hidden}, {cat},
+                        {.flops = MatMulFlops(b, in_dim + hidden, 4 * hidden)});
+    b_.Wire(weights, gates, LstmCellParamBytes(in_dim, hidden));
+    OpId act = b_.Add(OpType::kSigmoid, prefix + "_act",
+                      TensorShape{b, 4 * hidden}, {gates},
+                      {.flops = ElementwiseFlops(b * 4 * hidden)});
+    std::vector<OpId> state_in{act};
+    if (c_prev != graph::kInvalidOp) state_in.push_back(c_prev);
+    OpId h_out = b_.Add(OpType::kMul, prefix + "_state",
+                        TensorShape{b, hidden}, state_in,
+                        {.flops = ElementwiseFlops(b * hidden * 4)});
+    // c flows through the same fused op; modelled as the op's own output
+    // feeding the next timestep (h_out doubles as the carrier).
+    return {h_out, h_out};
+  }
+
+  std::vector<OpId> RunLstmLayer(const std::string& prefix,
+                                 const std::vector<OpId>& inputs,
+                                 std::int64_t hidden, bool reverse) {
+    const int s = static_cast<int>(inputs.size());
+    const std::int64_t in_dim =
+        b_.graph().op(inputs[0]).output_shape.dim(1);
+    OpId weights =
+        Variable(prefix + "_w", LstmCellParamBytes(in_dim, hidden), false);
+    std::vector<OpId> outputs(static_cast<std::size_t>(s));
+    OpId h_prev = graph::kInvalidOp;
+    OpId c_prev = graph::kInvalidOp;
+    for (int i = 0; i < s; ++i) {
+      const int t = reverse ? s - 1 - i : i;
+      auto [h_out, c_out] =
+          LstmCell(prefix + "_t" + std::to_string(t),
+                   inputs[static_cast<std::size_t>(t)], h_prev, c_prev,
+                   weights, in_dim, hidden);
+      outputs[static_cast<std::size_t>(t)] = h_out;
+      h_prev = h_out;
+      c_prev = c_out;
+    }
+    return outputs;
+  }
+
+  GnmtConfig c_;
+  GraphBuilder b_;
+};
+
+}  // namespace
+
+graph::OpGraph BuildGNMT(const GnmtConfig& config) {
+  EAGLE_CHECK(config.batch >= 1 && config.seq_len >= 2 && config.layers >= 2);
+  return GnmtBuilder(config).Build();
+}
+
+}  // namespace eagle::models

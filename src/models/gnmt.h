@@ -1,0 +1,27 @@
+// GNMT training-graph builder (Wu et al., 2016).
+//
+// The paper uses the 4-layer variant with attention, batch size raised
+// from 128 to 256 so the model no longer fits on a single GPU (§IV-A).
+// The graph is unrolled over time: layer weights are explicit Variable
+// ops read by every timestep's gate matmul, so placing a layer's cells
+// away from its weights shows up as PCIe traffic — the pressure that
+// makes the human-expert layer-per-device placement sensible.
+#pragma once
+
+#include "graph/op_graph.h"
+
+namespace eagle::models {
+
+struct GnmtConfig {
+  int batch = 256;
+  int seq_len = 50;        // the top of the paper's 20-50 window
+  int hidden = 1024;
+  int layers = 4;          // encoder and decoder depth (first enc layer is
+                           // bidirectional, as in GNMT)
+  int vocab = 36000;
+  bool training = true;
+};
+
+graph::OpGraph BuildGNMT(const GnmtConfig& config = {});
+
+}  // namespace eagle::models

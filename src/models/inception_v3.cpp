@@ -1,0 +1,232 @@
+#include "models/inception_v3.h"
+
+#include <string>
+#include <vector>
+
+#include "models/builder.h"
+#include "models/op_cost.h"
+#include "models/training_graph.h"
+#include "support/check.h"
+
+namespace eagle::models {
+
+using graph::OpId;
+using graph::OpType;
+using graph::TensorShape;
+
+namespace {
+
+// Builder state threaded through the block helpers: tracks the current
+// spatial extent and channel count of a feature map.
+struct FeatureMap {
+  OpId op = graph::kInvalidOp;
+  std::int64_t size = 0;      // spatial H == W
+  std::int64_t channels = 0;
+};
+
+class InceptionBuilder {
+ public:
+  explicit InceptionBuilder(const InceptionConfig& config)
+      : config_(config) {}
+
+  graph::OpGraph Build() {
+    // --- stem ---
+    b_.SetLayerScope("stem");
+    OpId input = b_.Add(OpType::kPlaceholder, "input",
+                        Shape(config_.image_size, 3), {});
+    FeatureMap x{input, config_.image_size, 3};
+    x = ConvBnRelu(x, 32, 3, 2);   // 149x149x32
+    x = ConvBnRelu(x, 32, 3, 1);   // 147x147x32
+    x = ConvBnRelu(x, 64, 3, 1, /*same=*/true);
+    x = Pool(x, OpType::kMaxPool, 3, 2);  // 73x73x64
+    x = ConvBnRelu(x, 80, 1, 1);
+    x = ConvBnRelu(x, 192, 3, 1);  // 71x71x192
+    x = Pool(x, OpType::kMaxPool, 3, 2);  // 35x35x192
+
+    // --- 3x Inception-A (35x35) ---
+    for (int i = 0; i < 3; ++i) {
+      b_.SetLayerScope("mixed_a" + std::to_string(i));
+      x = InceptionA(x, i == 0 ? 32 : 64);
+    }
+    // --- Reduction-A -> 17x17 ---
+    b_.SetLayerScope("reduction_a");
+    x = ReductionA(x);
+    // --- 4x Inception-B (17x17) ---
+    for (int i = 0; i < 4; ++i) {
+      b_.SetLayerScope("mixed_b" + std::to_string(i));
+      x = InceptionB(x, /*c7=*/i < 2 ? 128 : (i == 2 ? 160 : 192));
+    }
+    // --- Reduction-B -> 8x8 ---
+    b_.SetLayerScope("reduction_b");
+    x = ReductionB(x);
+    // --- 2x Inception-C (8x8) ---
+    for (int i = 0; i < 2; ++i) {
+      b_.SetLayerScope("mixed_c" + std::to_string(i));
+      x = InceptionC(x);
+    }
+
+    // --- head ---
+    b_.SetLayerScope("head");
+    OpId pooled = b_.Add(
+        OpType::kAvgPool, "global_pool", TensorShape{config_.batch, x.channels},
+        {x.op},
+        {.flops = ElementwiseFlops(config_.batch * x.size * x.size * x.channels)});
+    OpId logits = b_.Add(
+        OpType::kMatMul, "logits",
+        TensorShape{config_.batch, config_.num_classes}, {pooled},
+        {.flops = MatMulFlops(config_.batch, x.channels, config_.num_classes),
+         .param_bytes = DenseParamBytes(x.channels, config_.num_classes)});
+    OpId labels =
+        b_.Add(OpType::kPlaceholder, "labels", TensorShape{config_.batch},
+               {}, {.cpu_only = true});
+    OpId loss = b_.Add(OpType::kCrossEntropy, "loss", TensorShape{1},
+                       {logits, labels},
+                       {.flops = ElementwiseFlops(
+                            config_.batch * config_.num_classes * 4)});
+
+    graph::OpGraph graph = b_.TakeGraph();
+    if (config_.training) {
+      AddTrainingOps(graph, loss);
+    }
+    return graph;
+  }
+
+ private:
+  TensorShape Shape(std::int64_t size, std::int64_t channels) const {
+    return TensorShape{config_.batch, size, size, channels};
+  }
+
+  // Conv2D + BatchNorm + ReLU — the unit every Inception branch is made of.
+  FeatureMap ConvBnRelu(FeatureMap in, std::int64_t c_out, std::int64_t kernel,
+                        std::int64_t stride, bool same = false) {
+    std::int64_t out_size =
+        stride == 1 ? (same ? in.size : in.size - kernel + 1)
+                    : (in.size - kernel) / stride + 1;
+    if (kernel == 1) out_size = in.size / stride;
+    OpId conv = b_.Add(
+        OpType::kConv2D, "conv", Shape(out_size, c_out), {in.op},
+        {.flops = Conv2DFlops(config_.batch, out_size, out_size, in.channels,
+                              c_out, kernel),
+         .param_bytes = Conv2DParamBytes(in.channels, c_out, kernel)});
+    const auto n = config_.batch * out_size * out_size * c_out;
+    OpId bn = b_.Add(OpType::kBatchNorm, "bn", Shape(out_size, c_out), {conv},
+                     {.flops = ElementwiseFlops(n * 4),
+                      .param_bytes = c_out * 2 * 4});
+    OpId relu = b_.Add(OpType::kRelu, "relu", Shape(out_size, c_out), {bn},
+                       {.flops = ElementwiseFlops(n)});
+    return {relu, out_size, c_out};
+  }
+
+  FeatureMap Pool(FeatureMap in, OpType type, std::int64_t kernel,
+                  std::int64_t stride, bool same = false) {
+    const std::int64_t out_size =
+        same ? in.size : (in.size - kernel) / stride + 1;
+    OpId pool = b_.Add(
+        type, type == OpType::kMaxPool ? "maxpool" : "avgpool",
+        Shape(out_size, in.channels), {in.op},
+        {.flops = ElementwiseFlops(config_.batch * out_size * out_size *
+                                   in.channels * kernel * kernel)});
+    return {pool, out_size, in.channels};
+  }
+
+  FeatureMap ConcatBranches(const std::vector<FeatureMap>& branches) {
+    std::int64_t channels = 0;
+    std::vector<OpId> inputs;
+    for (const auto& br : branches) {
+      channels += br.channels;
+      inputs.push_back(br.op);
+    }
+    const std::int64_t size = branches.front().size;
+    OpId cat = b_.Add(
+        OpType::kConcat, "concat", Shape(size, channels), inputs,
+        {.flops = ElementwiseFlops(config_.batch * size * size * channels)});
+    return {cat, size, channels};
+  }
+
+  FeatureMap InceptionA(FeatureMap in, std::int64_t pool_proj) {
+    FeatureMap b1 = ConvBnRelu(in, 64, 1, 1);
+    FeatureMap b2 = ConvBnRelu(ConvBnRelu(in, 48, 1, 1), 64, 5, 1, true);
+    FeatureMap b3 = ConvBnRelu(
+        ConvBnRelu(ConvBnRelu(in, 64, 1, 1), 96, 3, 1, true), 96, 3, 1, true);
+    FeatureMap b4 =
+        ConvBnRelu(Pool(in, OpType::kAvgPool, 3, 1, true), pool_proj, 1, 1);
+    return ConcatBranches({b1, b2, b3, b4});
+  }
+
+  FeatureMap ReductionA(FeatureMap in) {
+    FeatureMap b1 = ConvBnRelu(in, 384, 3, 2);
+    FeatureMap b2 = ConvBnRelu(
+        ConvBnRelu(ConvBnRelu(in, 64, 1, 1), 96, 3, 1, true), 96, 3, 2);
+    FeatureMap b3 = Pool(in, OpType::kMaxPool, 3, 2);
+    return ConcatBranches({b1, b2, b3});
+  }
+
+  // 7x1/1x7 factorized convs modelled as kernel-7 convs at half cost.
+  FeatureMap Conv7Factorized(FeatureMap in, std::int64_t c_out) {
+    const std::int64_t out_size = in.size;
+    OpId conv = b_.Add(
+        OpType::kConv2D, "conv7", Shape(out_size, c_out), {in.op},
+        {.flops = Conv2DFlops(config_.batch, out_size, out_size, in.channels,
+                              c_out, 7) / 7.0,  // 1x7 slice of a 7x7
+         .param_bytes = Conv2DParamBytes(in.channels, c_out, 7) / 7});
+    const auto n = config_.batch * out_size * out_size * c_out;
+    OpId bn = b_.Add(OpType::kBatchNorm, "bn", Shape(out_size, c_out), {conv},
+                     {.flops = ElementwiseFlops(n * 4),
+                      .param_bytes = c_out * 2 * 4});
+    OpId relu = b_.Add(OpType::kRelu, "relu", Shape(out_size, c_out), {bn},
+                       {.flops = ElementwiseFlops(n)});
+    return {relu, out_size, c_out};
+  }
+
+  FeatureMap InceptionB(FeatureMap in, std::int64_t c7) {
+    FeatureMap b1 = ConvBnRelu(in, 192, 1, 1);
+    FeatureMap b2 = Conv7Factorized(Conv7Factorized(ConvBnRelu(in, c7, 1, 1),
+                                                    c7),
+                                    192);
+    FeatureMap b3 = Conv7Factorized(
+        Conv7Factorized(
+            Conv7Factorized(Conv7Factorized(ConvBnRelu(in, c7, 1, 1), c7), c7),
+            c7),
+        192);
+    FeatureMap b4 =
+        ConvBnRelu(Pool(in, OpType::kAvgPool, 3, 1, true), 192, 1, 1);
+    return ConcatBranches({b1, b2, b3, b4});
+  }
+
+  FeatureMap ReductionB(FeatureMap in) {
+    FeatureMap b1 = ConvBnRelu(ConvBnRelu(in, 192, 1, 1), 320, 3, 2);
+    FeatureMap b2 = ConvBnRelu(
+        Conv7Factorized(Conv7Factorized(ConvBnRelu(in, 192, 1, 1), 192), 192),
+        192, 3, 2);
+    FeatureMap b3 = Pool(in, OpType::kMaxPool, 3, 2);
+    return ConcatBranches({b1, b2, b3});
+  }
+
+  FeatureMap InceptionC(FeatureMap in) {
+    FeatureMap b1 = ConvBnRelu(in, 320, 1, 1);
+    // Split branches 3x1 + 1x3 concatenated.
+    FeatureMap b2a = ConvBnRelu(in, 384, 1, 1);
+    FeatureMap b2b = ConvBnRelu(b2a, 384, 3, 1, true);
+    FeatureMap b2c = ConvBnRelu(b2a, 384, 3, 1, true);
+    FeatureMap b2 = ConcatBranches({b2b, b2c});
+    FeatureMap b3a = ConvBnRelu(ConvBnRelu(in, 448, 1, 1), 384, 3, 1, true);
+    FeatureMap b3b = ConvBnRelu(b3a, 384, 3, 1, true);
+    FeatureMap b3c = ConvBnRelu(b3a, 384, 3, 1, true);
+    FeatureMap b3 = ConcatBranches({b3b, b3c});
+    FeatureMap b4 =
+        ConvBnRelu(Pool(in, OpType::kAvgPool, 3, 1, true), 192, 1, 1);
+    return ConcatBranches({b1, b2, b3, b4});
+  }
+
+  InceptionConfig config_;
+  GraphBuilder b_;
+};
+
+}  // namespace
+
+graph::OpGraph BuildInceptionV3(const InceptionConfig& config) {
+  EAGLE_CHECK(config.batch >= 1);
+  return InceptionBuilder(config).Build();
+}
+
+}  // namespace eagle::models

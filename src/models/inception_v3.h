@@ -1,0 +1,22 @@
+// Inception-V3 training-graph builder (Szegedy et al., CVPR 2016).
+//
+// The paper uses Inception-V3 at batch size 1 as the "small model" base
+// case (§IV-A): it fits on a single GPU and the optimal placement keeps
+// nearly everything on one device because per-op launch overhead and PCIe
+// latency outweigh any parallelism gain.
+#pragma once
+
+#include "graph/op_graph.h"
+
+namespace eagle::models {
+
+struct InceptionConfig {
+  int batch = 1;
+  int image_size = 299;
+  int num_classes = 1000;
+  bool training = true;  // append backward + optimizer ops
+};
+
+graph::OpGraph BuildInceptionV3(const InceptionConfig& config = {});
+
+}  // namespace eagle::models

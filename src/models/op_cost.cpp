@@ -1,0 +1,40 @@
+#include "models/op_cost.h"
+
+namespace eagle::models {
+
+double Conv2DFlops(std::int64_t batch, std::int64_t h_out, std::int64_t w_out,
+                   std::int64_t c_in, std::int64_t c_out,
+                   std::int64_t kernel) {
+  return 2.0 * static_cast<double>(batch) * static_cast<double>(h_out) *
+         static_cast<double>(w_out) * static_cast<double>(c_in) *
+         static_cast<double>(c_out) * static_cast<double>(kernel * kernel);
+}
+
+double MatMulFlops(std::int64_t m, std::int64_t k, std::int64_t n) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+         static_cast<double>(n);
+}
+
+std::int64_t Conv2DParamBytes(std::int64_t c_in, std::int64_t c_out,
+                              std::int64_t kernel) {
+  return (c_in * c_out * kernel * kernel + c_out) * 4;
+}
+
+std::int64_t DenseParamBytes(std::int64_t in_dim, std::int64_t out_dim) {
+  return (in_dim * out_dim + out_dim) * 4;
+}
+
+double LstmCellFlops(std::int64_t batch, std::int64_t in_dim,
+                     std::int64_t hidden) {
+  // Gate matmul (4H outputs from concat(x, h)) plus elementwise gate math.
+  return MatMulFlops(batch, in_dim + hidden, 4 * hidden) +
+         ElementwiseFlops(batch * hidden * 8);
+}
+
+std::int64_t LstmCellParamBytes(std::int64_t in_dim, std::int64_t hidden) {
+  return DenseParamBytes(in_dim + hidden, 4 * hidden);
+}
+
+double ElementwiseFlops(std::int64_t n) { return static_cast<double>(n); }
+
+}  // namespace eagle::models

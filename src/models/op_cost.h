@@ -1,0 +1,35 @@
+// FLOP and parameter-count formulas for common layer types.
+//
+// These populate OpDef::flops / param_bytes so the execution simulator's
+// cost model reflects real layer asymmetries (a 1x1 conv vs a 5x5 conv, a
+// vocab-sized projection vs an LSTM gate matmul, ...).
+#pragma once
+
+#include <cstdint>
+
+namespace eagle::models {
+
+// 2 * N * C_in * K * K * H_out * W_out * C_out (multiply-add counted as 2).
+double Conv2DFlops(std::int64_t batch, std::int64_t h_out, std::int64_t w_out,
+                   std::int64_t c_in, std::int64_t c_out, std::int64_t kernel);
+
+// 2 * M * K * N.
+double MatMulFlops(std::int64_t m, std::int64_t k, std::int64_t n);
+
+// Conv kernel parameters in bytes (fp32), including bias.
+std::int64_t Conv2DParamBytes(std::int64_t c_in, std::int64_t c_out,
+                              std::int64_t kernel);
+
+// Dense layer parameters in bytes (fp32), including bias.
+std::int64_t DenseParamBytes(std::int64_t in_dim, std::int64_t out_dim);
+
+// Fused LSTM cell: one step for `batch` rows, input `in_dim`, hidden
+// `hidden` (computes all four gates).
+double LstmCellFlops(std::int64_t batch, std::int64_t in_dim,
+                     std::int64_t hidden);
+std::int64_t LstmCellParamBytes(std::int64_t in_dim, std::int64_t hidden);
+
+// Cheap elementwise op over n elements (1 flop each).
+double ElementwiseFlops(std::int64_t n);
+
+}  // namespace eagle::models

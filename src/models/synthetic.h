@@ -1,0 +1,38 @@
+// Synthetic graph generators for unit tests, property tests and examples.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/op_graph.h"
+#include "support/rng.h"
+
+namespace eagle::models {
+
+// A straight chain of n compute ops (no parallelism to exploit).
+graph::OpGraph BuildChain(int n, std::int64_t tensor_elems = 1 << 16,
+                          double flops_per_op = 1e8);
+
+// `width` parallel chains of length `depth` sharing a source and a sink —
+// the canonical case where spreading across devices wins.
+graph::OpGraph BuildParallelChains(int width, int depth,
+                                   std::int64_t tensor_elems = 1 << 16,
+                                   double flops_per_op = 1e9);
+
+// Random layered DAG: `layers` ranks of `width` ops, each op consuming
+// 1..max_fanin ops from earlier ranks. Op costs and tensor sizes are drawn
+// log-uniformly so features span realistic magnitudes.
+struct RandomDagConfig {
+  int layers = 10;
+  int width = 8;
+  int max_fanin = 3;
+  double min_flops = 1e6;
+  double max_flops = 1e10;
+  std::int64_t min_elems = 1 << 10;
+  std::int64_t max_elems = 1 << 22;
+  double cpu_only_fraction = 0.02;
+  bool training = false;
+};
+graph::OpGraph BuildRandomDag(const RandomDagConfig& config,
+                              support::Rng& rng);
+
+}  // namespace eagle::models

@@ -1,0 +1,112 @@
+#include "models/training_graph.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/check.h"
+
+namespace eagle::models {
+
+using graph::OpDef;
+using graph::OpGraph;
+using graph::OpId;
+using graph::OpType;
+
+int AddTrainingOps(OpGraph& graph, OpId loss_op,
+                   const TrainingGraphOptions& options) {
+  EAGLE_CHECK(loss_op >= 0 && loss_op < graph.num_ops());
+  const int num_forward = graph.num_ops();
+  const auto topo = graph.TopologicalOrder();
+
+  // Ops that can reach the loss participate in the backward pass.
+  std::vector<bool> reaches_loss(static_cast<std::size_t>(num_forward), false);
+  reaches_loss[static_cast<std::size_t>(loss_op)] = true;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const OpId u = *it;
+    if (reaches_loss[static_cast<std::size_t>(u)]) continue;
+    for (auto ei : graph.out_edges(u)) {
+      if (reaches_loss[static_cast<std::size_t>(
+              graph.edges()[static_cast<std::size_t>(ei)].dst)]) {
+        reaches_loss[static_cast<std::size_t>(u)] = true;
+        break;
+      }
+    }
+  }
+
+  std::vector<OpId> grad_of(static_cast<std::size_t>(num_forward),
+                            graph::kInvalidOp);
+  int added = 0;
+  std::int32_t next_colocation = 0;
+  for (OpId fwd = 0; fwd < num_forward; ++fwd) {
+    if (graph.op(fwd).colocation_group >= 0) {
+      next_colocation =
+          std::max(next_colocation, graph.op(fwd).colocation_group + 1);
+    }
+  }
+
+  // Reverse topological order so each grad op's upstream grads exist.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const OpId fwd = *it;
+    if (!reaches_loss[static_cast<std::size_t>(fwd)]) continue;
+    const OpDef fwd_op = graph.op(fwd);  // copy: AddOp may reallocate
+    const bool has_params = fwd_op.param_bytes > 0;
+    if (!has_params && fwd_op.flops < options.min_flops_to_mirror &&
+        fwd != loss_op) {
+      continue;
+    }
+
+    OpDef grad;
+    grad.name = "grad/" + fwd_op.name;
+    grad.type = fwd_op.type;
+    grad.output_shape = fwd_op.output_shape;
+    grad.flops = fwd_op.flops * options.backward_flops_factor;
+    grad.param_bytes = 0;
+    grad.cpu_only = fwd_op.cpu_only;
+    grad.is_gradient = true;
+    grad.layer = fwd_op.layer;
+    const OpId gid = graph.AddOp(std::move(grad));
+    grad_of[static_cast<std::size_t>(fwd)] = gid;
+    ++added;
+
+    // Gradient flow: dConsumer -> dF for every forward edge F -> Consumer.
+    // Consumers appear later in topo order, so their grads already exist.
+    bool got_upstream = false;
+    for (auto ei : graph.out_edges(fwd)) {
+      const auto& e = graph.edges()[static_cast<std::size_t>(ei)];
+      if (e.dst >= num_forward) continue;  // skip already-added training ops
+      const OpId consumer_grad = grad_of[static_cast<std::size_t>(e.dst)];
+      if (consumer_grad != graph::kInvalidOp) {
+        graph.AddEdge(consumer_grad, gid, fwd_op.output_bytes());
+        got_upstream = true;
+      }
+    }
+    (void)got_upstream;  // the loss op itself legitimately has none
+
+    // Saved activation: the backward op re-reads the forward output.
+    graph.AddEdge(fwd, gid, fwd_op.output_bytes());
+
+    if (has_params && options.add_optimizer_ops) {
+      OpDef update;
+      update.name = "adam/" + fwd_op.name;
+      update.type = OpType::kApplyAdam;
+      // Output is a control-ish signal; negligible bytes.
+      update.output_shape = graph::TensorShape{1};
+      update.flops = static_cast<double>(fwd_op.param_bytes / 4) * 8.0;
+      // Adam keeps m and v slots resident next to the parameters.
+      update.param_bytes = 2 * fwd_op.param_bytes;
+      update.cpu_only = fwd_op.cpu_only;
+      update.is_gradient = true;
+      update.layer = fwd_op.layer;
+      const std::int32_t coloc = next_colocation++;
+      update.colocation_group = coloc;
+      const OpId uid = graph.AddOp(std::move(update));
+      graph.mutable_op(fwd).colocation_group = coloc;
+      // Parameter gradient flows from the grad op, param-sized.
+      graph.AddEdge(gid, uid, fwd_op.param_bytes);
+      ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace eagle::models

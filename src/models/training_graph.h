@@ -1,0 +1,37 @@
+// Training-graph augmentation: mirrors the forward graph with backward
+// (gradient) operations and appends optimizer-update ops.
+//
+// The paper's agents place *training* graphs — the per-step time measured
+// as reward includes forward, backward and parameter updates, and device
+// memory must hold forward activations until their gradients consume them.
+// This pass reproduces both effects structurally:
+//   - for each forward op F a gradient op dF is added, with
+//       * an edge dC -> dF for every forward edge F -> C (gradient flow,
+//         carrying grad-of-output bytes = F's output bytes), and
+//       * an edge F -> dF (the saved activation the backward op re-reads),
+//     so activations stay live across the whole backward pass;
+//   - for each parameterized forward op an ApplyAdam op is added, fed by
+//     dF, holding the optimizer slot memory (m, v = 2x params) and
+//     colocated with F (TensorFlow colocates variables with their update).
+#pragma once
+
+#include "graph/op_graph.h"
+
+namespace eagle::models {
+
+struct TrainingGraphOptions {
+  // Backward ops cost roughly 2x forward (dL/dx and dL/dw products).
+  double backward_flops_factor = 2.0;
+  // Skip mirroring trivially cheap ops below this FLOP threshold and with
+  // no parameters (their gradients are fused into neighbors in real
+  // frameworks); keeps graph size realistic instead of exactly 2x.
+  double min_flops_to_mirror = 0.0;
+  bool add_optimizer_ops = true;
+};
+
+// Appends backward + optimizer ops to `graph`, starting the gradient chain
+// at `loss_op`. Returns the number of ops added.
+int AddTrainingOps(graph::OpGraph& graph, graph::OpId loss_op,
+                   const TrainingGraphOptions& options = {});
+
+}  // namespace eagle::models

@@ -1,0 +1,43 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace eagle::nn {
+
+Adam::Adam(ParamStore& store, AdamOptions options)
+    : store_(&store), options_(options) {}
+
+double Adam::Step() {
+  const double norm = options_.clip_norm > 0
+                          ? store_->ClipGradNorm(options_.clip_norm)
+                          : store_->GradNorm();
+  ++t_;
+  const double bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  for (const auto& p : store_->params()) {
+    Slot& slot = slots_[p.get()];
+    if (slot.m.empty()) {
+      slot.m = Tensor(p->value.rows(), p->value.cols());
+      slot.v = Tensor(p->value.rows(), p->value.cols());
+    }
+    float* value = p->value.data();
+    float* grad = p->grad.data();
+    float* m = slot.m.data();
+    float* v = slot.v.data();
+    const auto n = p->value.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+      m[i] = static_cast<float>(options_.beta1 * m[i] +
+                                (1.0 - options_.beta1) * grad[i]);
+      v[i] = static_cast<float>(options_.beta2 * v[i] +
+                                (1.0 - options_.beta2) * grad[i] * grad[i]);
+      const double m_hat = m[i] / bias1;
+      const double v_hat = v[i] / bias2;
+      value[i] -= static_cast<float>(options_.lr * m_hat /
+                                     (std::sqrt(v_hat) + options_.eps));
+    }
+  }
+  store_->ZeroGrads();
+  return norm;
+}
+
+}  // namespace eagle::nn

@@ -1,0 +1,44 @@
+// Adam optimizer (Kingma & Ba) over a ParamStore.
+//
+// The paper trains agents with Adam, lr 0.01, gradients clipped by norm at
+// 1.0 (§IV-C) — those are the defaults here.
+#pragma once
+
+#include <unordered_map>
+
+#include "nn/layers.h"
+
+namespace eagle::nn {
+
+struct AdamOptions {
+  double lr = 0.01;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double clip_norm = 1.0;  // <=0 disables clipping
+};
+
+class Adam {
+ public:
+  explicit Adam(ParamStore& store, AdamOptions options = {});
+
+  // Clips gradients, applies one update, zeroes gradients.
+  // Returns the pre-clip gradient norm (for logging).
+  double Step();
+
+  std::int64_t step_count() const { return t_; }
+  const AdamOptions& options() const { return options_; }
+  void set_lr(double lr) { options_.lr = lr; }
+
+ private:
+  struct Slot {
+    Tensor m;
+    Tensor v;
+  };
+  ParamStore* store_;
+  AdamOptions options_;
+  std::unordered_map<Parameter*, Slot> slots_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace eagle::nn

@@ -1,0 +1,4 @@
+#include "nn/init.h"
+
+// Initializers are defined in layers.cpp; this TU anchors the init.h
+// convenience header in the build.

@@ -1,0 +1,6 @@
+// Convenience re-exports: initializer functions live in layers.h (they
+// need ParamStore); this header exists so callers that only initialize
+// tensors don't pull in the layer definitions.
+#pragma once
+
+#include "nn/layers.h"

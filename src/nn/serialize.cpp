@@ -1,0 +1,77 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "support/check.h"
+#include "support/log.h"
+
+namespace eagle::nn {
+
+namespace {
+constexpr char kMagic[8] = {'E', 'A', 'G', 'L', 'N', 'N', '1', '\0'};
+}
+
+bool SaveParams(const ParamStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    EAGLE_LOG(Warn) << "cannot open " << path << " for writing";
+    return false;
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const auto count = static_cast<std::uint32_t>(store.params().size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : store.params()) {
+    const auto name_len = static_cast<std::uint32_t>(p->name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p->name.data(), name_len);
+    const std::int32_t rows = p->value.rows();
+    const std::int32_t cols = p->value.cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+int LoadParams(ParamStore& store, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EAGLE_CHECK_MSG(in, "cannot open checkpoint " << path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  EAGLE_CHECK_MSG(in && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                  "bad checkpoint magic in " << path);
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  int restored = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    EAGLE_CHECK_MSG(in && name_len < (1u << 16), "corrupt checkpoint");
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    std::int32_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    EAGLE_CHECK_MSG(in && rows >= 0 && cols >= 0, "corrupt checkpoint");
+    std::vector<float> data(static_cast<std::size_t>(rows) *
+                            static_cast<std::size_t>(cols));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    EAGLE_CHECK_MSG(in, "truncated checkpoint " << path);
+    Parameter* p = store.Find(name);
+    if (p == nullptr) {
+      EAGLE_LOG(Warn) << "checkpoint param " << name << " not in store";
+      continue;
+    }
+    EAGLE_CHECK_MSG(p->value.rows() == rows && p->value.cols() == cols,
+                    "shape mismatch for " << name);
+    p->value = Tensor::FromData(rows, cols, std::move(data));
+    ++restored;
+  }
+  return restored;
+}
+
+}  // namespace eagle::nn

@@ -1,0 +1,21 @@
+// Parameter checkpointing: binary save/load of a ParamStore by name.
+//
+// Format (little endian):
+//   magic "EAGLNN1\0" | u32 count | per param:
+//     u32 name_len | name bytes | i32 rows | i32 cols | f32 data…
+#pragma once
+
+#include <string>
+
+#include "nn/layers.h"
+
+namespace eagle::nn {
+
+bool SaveParams(const ParamStore& store, const std::string& path);
+
+// Loads values into existing parameters matched by name (shape must
+// match). Returns the number of parameters restored; throws on corrupt
+// files or shape mismatches.
+int LoadParams(ParamStore& store, const std::string& path);
+
+}  // namespace eagle::nn

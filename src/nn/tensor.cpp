@@ -1,0 +1,117 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace eagle::nn {
+
+Tensor::Tensor(int rows, int cols, float fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            fill) {
+  EAGLE_CHECK_MSG(rows >= 0 && cols >= 0,
+                  "bad tensor shape " << rows << "x" << cols);
+}
+
+Tensor Tensor::FromData(int rows, int cols, std::vector<float> data) {
+  EAGLE_CHECK_MSG(static_cast<std::int64_t>(data.size()) ==
+                      static_cast<std::int64_t>(rows) * cols,
+                  "data size " << data.size() << " != " << rows << "x" << cols);
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_ = std::move(data);
+  return t;
+}
+
+void Tensor::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_;
+  return os.str();
+}
+
+void GemmAccum(const Tensor& a, const Tensor& b, Tensor& out) {
+  EAGLE_CHECK_MSG(a.cols() == b.rows() && out.rows() == a.rows() &&
+                      out.cols() == b.cols(),
+                  "gemm shape mismatch: " << a.ShapeString() << " * "
+                                          << b.ShapeString() << " -> "
+                                          << out.ShapeString());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransAAccum(const Tensor& a, const Tensor& b, Tensor& out) {
+  // out(k, n) += aᵀ(k, m) * b(m, n), a is m×k.
+  EAGLE_CHECK_MSG(a.rows() == b.rows() && out.rows() == a.cols() &&
+                      out.cols() == b.cols(),
+                  "gemmTA shape mismatch: " << a.ShapeString() << "ᵀ * "
+                                            << b.ShapeString() << " -> "
+                                            << out.ShapeString());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    const float* brow = b.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* orow = out.row(p);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransBAccum(const Tensor& a, const Tensor& b, Tensor& out) {
+  // out(m, k) += a(m, n) * bᵀ(n, k), b is k×n.
+  EAGLE_CHECK_MSG(a.cols() == b.cols() && out.rows() == a.rows() &&
+                      out.cols() == b.rows(),
+                  "gemmTB shape mismatch: " << a.ShapeString() << " * "
+                                            << b.ShapeString() << "ᵀ -> "
+                                            << out.ShapeString());
+  const int m = a.rows(), n = a.cols(), k = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b.row(p);
+      float acc = 0.0f;
+      for (int j = 0; j < n; ++j) acc += arow[j] * brow[j];
+      orow[p] += acc;
+    }
+  }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Tensor out(a.rows(), b.cols());
+  GemmAccum(a, b, out);
+  return out;
+}
+
+void Axpy(float alpha, const Tensor& x, Tensor& y) {
+  EAGLE_CHECK_MSG(x.SameShape(y), "axpy shape mismatch");
+  const float* xd = x.data();
+  float* yd = y.data();
+  const std::int64_t n = x.size();
+  for (std::int64_t i = 0; i < n; ++i) yd[i] += alpha * xd[i];
+}
+
+double SquaredNorm(const Tensor& t) {
+  double acc = 0.0;
+  const float* d = t.data();
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    acc += static_cast<double>(d[i]) * d[i];
+  }
+  return acc;
+}
+
+}  // namespace eagle::nn

@@ -1,0 +1,123 @@
+#include "partition/bisection.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <vector>
+
+#include "partition/fm_refine.h"
+#include "support/check.h"
+
+namespace eagle::partition {
+
+namespace {
+
+// Extracts the subgraph induced by `vertices` (local ids 0..n-1).
+WeightedGraph InducedSubgraph(const WeightedGraph& graph,
+                              const std::vector<std::int32_t>& vertices,
+                              std::vector<std::int32_t>& global_of_local) {
+  std::vector<std::int32_t> local_of_global(
+      static_cast<std::size_t>(graph.num_vertices()), -1);
+  global_of_local = vertices;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    local_of_global[static_cast<std::size_t>(vertices[i])] =
+        static_cast<std::int32_t>(i);
+  }
+  WeightedGraph sub;
+  sub.xadj.push_back(0);
+  for (std::int32_t v : vertices) {
+    sub.vwgt.push_back(graph.vwgt[static_cast<std::size_t>(v)]);
+    for (std::int32_t i = graph.xadj[static_cast<std::size_t>(v)];
+         i < graph.xadj[static_cast<std::size_t>(v) + 1]; ++i) {
+      const std::int32_t u = local_of_global[static_cast<std::size_t>(
+          graph.adjncy[static_cast<std::size_t>(i)])];
+      if (u >= 0) {
+        sub.adjncy.push_back(u);
+        sub.adjwgt.push_back(graph.adjwgt[static_cast<std::size_t>(i)]);
+      }
+    }
+    sub.xadj.push_back(static_cast<std::int32_t>(sub.adjncy.size()));
+  }
+  return sub;
+}
+
+// Greedy BFS bisection seed: grow one side from a random vertex until it
+// holds ~half the weight, then FM-refine the 2-way cut.
+Partitioning Bisect(const WeightedGraph& graph,
+                    const BisectionOptions& options, support::Rng& rng) {
+  const int n = graph.num_vertices();
+  Partitioning side(static_cast<std::size_t>(n), 1);
+  if (n <= 1) {
+    if (n == 1) side[0] = 0;
+    return side;
+  }
+  const std::int64_t target = graph.total_vertex_weight() / 2;
+  std::int64_t grown = 0;
+  std::deque<std::int32_t> frontier{
+      static_cast<std::int32_t>(rng.NextBelow(static_cast<std::uint64_t>(n)))};
+  while (!frontier.empty() && grown < target) {
+    const std::int32_t v = frontier.front();
+    frontier.pop_front();
+    if (side[static_cast<std::size_t>(v)] == 0) continue;
+    side[static_cast<std::size_t>(v)] = 0;
+    grown += graph.vwgt[static_cast<std::size_t>(v)];
+    for (std::int32_t i = graph.xadj[static_cast<std::size_t>(v)];
+         i < graph.xadj[static_cast<std::size_t>(v) + 1]; ++i) {
+      frontier.push_back(graph.adjncy[static_cast<std::size_t>(i)]);
+    }
+  }
+  // Disconnected graphs: fill from unvisited vertices.
+  for (std::int32_t v = 0; v < n && grown < target; ++v) {
+    if (side[static_cast<std::size_t>(v)] == 1) {
+      side[static_cast<std::size_t>(v)] = 0;
+      grown += graph.vwgt[static_cast<std::size_t>(v)];
+    }
+  }
+  RefineOptions refine{2, options.balance_tolerance, options.refine_passes};
+  RefineKWay(graph, side, refine, rng);
+  return side;
+}
+
+void Recurse(const WeightedGraph& graph,
+             const std::vector<std::int32_t>& vertices, int first_part,
+             int num_parts, const BisectionOptions& options,
+             support::Rng& rng, Partitioning& out) {
+  if (num_parts <= 1 || vertices.size() <= 1) {
+    for (std::int32_t v : vertices) {
+      out[static_cast<std::size_t>(v)] = first_part;
+    }
+    return;
+  }
+  std::vector<std::int32_t> global_of_local;
+  const WeightedGraph sub = InducedSubgraph(graph, vertices, global_of_local);
+  const Partitioning side = Bisect(sub, options, rng);
+  std::vector<std::int32_t> left, right;
+  for (std::size_t i = 0; i < global_of_local.size(); ++i) {
+    (side[i] == 0 ? left : right).push_back(global_of_local[i]);
+  }
+  const int left_parts = num_parts / 2;
+  Recurse(graph, left, first_part, left_parts, options, rng, out);
+  Recurse(graph, right, first_part + left_parts, num_parts - left_parts,
+          options, rng, out);
+}
+
+}  // namespace
+
+Partitioning BisectionPartitionWeighted(const WeightedGraph& graph,
+                                        const BisectionOptions& options) {
+  EAGLE_CHECK(options.num_parts >= 1);
+  support::Rng rng(options.seed);
+  Partitioning out(static_cast<std::size_t>(graph.num_vertices()), 0);
+  std::vector<std::int32_t> all(static_cast<std::size_t>(graph.num_vertices()));
+  std::iota(all.begin(), all.end(), 0);
+  Recurse(graph, all, 0, options.num_parts, options, rng, out);
+  ValidatePartitioning(graph, out, options.num_parts);
+  return out;
+}
+
+Partitioning BisectionPartition(const graph::OpGraph& graph,
+                                const BisectionOptions& options) {
+  return BisectionPartitionWeighted(BuildWeightedGraph(graph), options);
+}
+
+}  // namespace eagle::partition

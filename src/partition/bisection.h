@@ -1,0 +1,29 @@
+// Recursive-bisection partitioner (Scotch-style, §II-C: "there are many
+// well-studied algorithms for graph partitioning problems, such as the
+// Scotch optimizer").
+//
+// Splits the graph into two balanced halves with FM refinement, then
+// recurses on each half until num_parts parts exist. Compared with the
+// direct multilevel k-way partitioner (metis_like.h), recursive bisection
+// optimizes each cut locally — historically Scotch's default strategy.
+#pragma once
+
+#include "partition/partition.h"
+#include "support/rng.h"
+
+namespace eagle::partition {
+
+struct BisectionOptions {
+  int num_parts = 24;
+  double balance_tolerance = 1.1;  // per bisection level
+  int refine_passes = 6;
+  std::uint64_t seed = 1;
+};
+
+Partitioning BisectionPartition(const graph::OpGraph& graph,
+                                const BisectionOptions& options);
+
+Partitioning BisectionPartitionWeighted(const WeightedGraph& graph,
+                                        const BisectionOptions& options);
+
+}  // namespace eagle::partition

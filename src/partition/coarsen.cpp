@@ -1,0 +1,99 @@
+#include "partition/coarsen.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "support/check.h"
+
+namespace eagle::partition {
+
+CoarseLevel CoarsenOnce(const WeightedGraph& graph, support::Rng& rng) {
+  const int n = graph.num_vertices();
+  std::vector<std::int32_t> match(static_cast<std::size_t>(n), -1);
+  std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  for (std::int32_t v : order) {
+    if (match[static_cast<std::size_t>(v)] != -1) continue;
+    std::int32_t best = -1;
+    std::int64_t best_weight = -1;
+    for (std::int32_t i = graph.xadj[static_cast<std::size_t>(v)];
+         i < graph.xadj[static_cast<std::size_t>(v) + 1]; ++i) {
+      const std::int32_t u = graph.adjncy[static_cast<std::size_t>(i)];
+      if (match[static_cast<std::size_t>(u)] != -1 || u == v) continue;
+      const std::int64_t w = graph.adjwgt[static_cast<std::size_t>(i)];
+      if (w > best_weight) {
+        best_weight = w;
+        best = u;
+      }
+    }
+    if (best >= 0) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;  // stays single
+    }
+  }
+
+  CoarseLevel level;
+  level.fine_to_coarse.assign(static_cast<std::size_t>(n), -1);
+  std::int32_t next = 0;
+  for (std::int32_t v = 0; v < n; ++v) {
+    if (level.fine_to_coarse[static_cast<std::size_t>(v)] != -1) continue;
+    const std::int32_t m = match[static_cast<std::size_t>(v)];
+    level.fine_to_coarse[static_cast<std::size_t>(v)] = next;
+    if (m != v) level.fine_to_coarse[static_cast<std::size_t>(m)] = next;
+    ++next;
+  }
+
+  // Build the coarse graph with merged edges.
+  std::vector<std::int64_t> vwgt(static_cast<std::size_t>(next), 0);
+  std::vector<std::map<std::int32_t, std::int64_t>> nbr(
+      static_cast<std::size_t>(next));
+  for (std::int32_t v = 0; v < n; ++v) {
+    const std::int32_t cv = level.fine_to_coarse[static_cast<std::size_t>(v)];
+    vwgt[static_cast<std::size_t>(cv)] +=
+        graph.vwgt[static_cast<std::size_t>(v)];
+    for (std::int32_t i = graph.xadj[static_cast<std::size_t>(v)];
+         i < graph.xadj[static_cast<std::size_t>(v) + 1]; ++i) {
+      const std::int32_t cu = level.fine_to_coarse[static_cast<std::size_t>(
+          graph.adjncy[static_cast<std::size_t>(i)])];
+      if (cu != cv) {
+        nbr[static_cast<std::size_t>(cv)][cu] +=
+            graph.adjwgt[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  level.graph.vwgt = std::move(vwgt);
+  level.graph.xadj.push_back(0);
+  for (std::int32_t cv = 0; cv < next; ++cv) {
+    for (const auto& [cu, w] : nbr[static_cast<std::size_t>(cv)]) {
+      level.graph.adjncy.push_back(cu);
+      level.graph.adjwgt.push_back(w);
+    }
+    level.graph.xadj.push_back(
+        static_cast<std::int32_t>(level.graph.adjncy.size()));
+  }
+  return level;
+}
+
+std::vector<CoarseLevel> BuildHierarchy(const WeightedGraph& graph,
+                                        int target_vertices,
+                                        support::Rng& rng) {
+  EAGLE_CHECK(target_vertices >= 1);
+  std::vector<CoarseLevel> levels;
+  const WeightedGraph* current = &graph;
+  while (current->num_vertices() > target_vertices) {
+    CoarseLevel level = CoarsenOnce(*current, rng);
+    const int before = current->num_vertices();
+    const int after = level.graph.num_vertices();
+    levels.push_back(std::move(level));
+    current = &levels.back().graph;
+    if (after > before * 95 / 100) break;  // diminishing returns
+  }
+  return levels;
+}
+
+}  // namespace eagle::partition

@@ -1,0 +1,29 @@
+// Multilevel coarsening via heavy-edge matching (Karypis & Kumar).
+#pragma once
+
+#include <vector>
+
+#include "partition/partition.h"
+#include "support/rng.h"
+
+namespace eagle::partition {
+
+struct CoarseLevel {
+  WeightedGraph graph;
+  // fine vertex -> coarse vertex in `graph`.
+  std::vector<std::int32_t> fine_to_coarse;
+};
+
+// One round of heavy-edge matching: each unmatched vertex (visited in
+// random order) merges with its heaviest unmatched neighbor. Guarantees
+// at most ceil(n/1) vertices and usually ~n/2.
+CoarseLevel CoarsenOnce(const WeightedGraph& graph, support::Rng& rng);
+
+// Repeats CoarsenOnce until the graph has <= target_vertices vertices or
+// shrinkage stalls (<5% reduction). Returns the level hierarchy from fine
+// (front) to coarse (back).
+std::vector<CoarseLevel> BuildHierarchy(const WeightedGraph& graph,
+                                        int target_vertices,
+                                        support::Rng& rng);
+
+}  // namespace eagle::partition

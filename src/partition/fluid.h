@@ -1,0 +1,34 @@
+// Asynchronous fluid communities (Parés et al., 2017) — the paper's
+// "Networkx" grouper baseline (§III-B).
+//
+// k communities start at random seeds and expand/contract by a density
+// rule: each vertex (visited in random order) adopts the community with
+// the highest sum of neighbor densities; a community's density is
+// 1/|community|. After convergence, vertices left in no community join
+// their most-connected one, and an optional balance pass bounds group
+// sizes (the paper feeds groups into a placer that expects a fixed group
+// count, so empty/huge groups are repaired).
+#pragma once
+
+#include "partition/partition.h"
+#include "support/rng.h"
+
+namespace eagle::partition {
+
+struct FluidOptions {
+  int num_communities = 64;
+  int max_iterations = 100;
+  std::uint64_t seed = 1;
+  // Post-pass: repair empty communities and cap oversized ones so the
+  // result is usable as a fixed-k grouping.
+  bool balance = true;
+  double balance_tolerance = 1.5;
+};
+
+Partitioning FluidCommunities(const graph::OpGraph& graph,
+                              const FluidOptions& options);
+
+Partitioning FluidCommunitiesWeighted(const WeightedGraph& graph,
+                                      const FluidOptions& options);
+
+}  // namespace eagle::partition

@@ -1,0 +1,76 @@
+#include "partition/fm_refine.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.h"
+
+namespace eagle::partition {
+
+std::int64_t RefineKWay(const WeightedGraph& graph, Partitioning& part,
+                        const RefineOptions& options, support::Rng& rng) {
+  ValidatePartitioning(graph, part, options.num_parts);
+  const int n = graph.num_vertices();
+  const int k = options.num_parts;
+
+  std::vector<std::int64_t> part_weight(static_cast<std::size_t>(k), 0);
+  for (int v = 0; v < n; ++v) {
+    part_weight[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
+        graph.vwgt[static_cast<std::size_t>(v)];
+  }
+  const std::int64_t max_weight = static_cast<std::int64_t>(
+      options.balance_tolerance *
+      static_cast<double>(graph.total_vertex_weight()) / k) + 1;
+
+  std::int64_t total_gain = 0;
+  std::vector<std::int64_t> conn(static_cast<std::size_t>(k), 0);
+  std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    rng.Shuffle(order);
+    std::int64_t pass_gain = 0;
+    for (std::int32_t v : order) {
+      const std::int32_t from = part[static_cast<std::size_t>(v)];
+      // Connectivity of v to each part.
+      std::fill(conn.begin(), conn.end(), 0);
+      bool boundary = false;
+      for (std::int32_t i = graph.xadj[static_cast<std::size_t>(v)];
+           i < graph.xadj[static_cast<std::size_t>(v) + 1]; ++i) {
+        const std::int32_t p = part[static_cast<std::size_t>(
+            graph.adjncy[static_cast<std::size_t>(i)])];
+        conn[static_cast<std::size_t>(p)] +=
+            graph.adjwgt[static_cast<std::size_t>(i)];
+        if (p != from) boundary = true;
+      }
+      if (!boundary) continue;
+      std::int32_t best = from;
+      std::int64_t best_gain = 0;
+      for (std::int32_t p = 0; p < k; ++p) {
+        if (p == from) continue;
+        const std::int64_t gain = conn[static_cast<std::size_t>(p)] -
+                                  conn[static_cast<std::size_t>(from)];
+        if (gain > best_gain &&
+            part_weight[static_cast<std::size_t>(p)] +
+                    graph.vwgt[static_cast<std::size_t>(v)] <=
+                max_weight) {
+          best = p;
+          best_gain = gain;
+        }
+      }
+      if (best != from) {
+        part[static_cast<std::size_t>(v)] = best;
+        part_weight[static_cast<std::size_t>(from)] -=
+            graph.vwgt[static_cast<std::size_t>(v)];
+        part_weight[static_cast<std::size_t>(best)] +=
+            graph.vwgt[static_cast<std::size_t>(v)];
+        pass_gain += best_gain;
+      }
+    }
+    total_gain += pass_gain;
+    if (pass_gain == 0) break;
+  }
+  return total_gain;
+}
+
+}  // namespace eagle::partition

@@ -1,0 +1,25 @@
+// Greedy k-way boundary refinement (Fiduccia–Mattheyses style).
+//
+// Repeatedly moves boundary vertices to the neighboring part with the
+// largest positive cut-gain, subject to a balance constraint. Used both
+// for per-level refinement in the multilevel partitioner and as a
+// post-pass for the fluid-communities grouper.
+#pragma once
+
+#include "partition/partition.h"
+#include "support/rng.h"
+
+namespace eagle::partition {
+
+struct RefineOptions {
+  int num_parts = 4;
+  // A part may hold at most tolerance * (total/num_parts) vertex weight.
+  double balance_tolerance = 1.15;
+  int max_passes = 8;
+};
+
+// Refines `part` in place. Returns the total cut-weight improvement.
+std::int64_t RefineKWay(const WeightedGraph& graph, Partitioning& part,
+                        const RefineOptions& options, support::Rng& rng);
+
+}  // namespace eagle::partition

@@ -1,0 +1,30 @@
+// METIS-style multilevel k-way partitioner (the paper's METIS grouper,
+// Table I / Table II): heavy-edge-matching coarsening, greedy graph-growing
+// initial partition on the coarsest level, then uncoarsening with k-way FM
+// refinement at every level.
+#pragma once
+
+#include "partition/partition.h"
+#include "support/rng.h"
+
+namespace eagle::partition {
+
+struct MetisOptions {
+  int num_parts = 64;
+  double balance_tolerance = 1.15;
+  // Coarsening stops at ~max(this, 8 * num_parts) vertices.
+  int coarsen_target = 512;
+  int refine_passes = 8;
+  std::uint64_t seed = 1;
+};
+
+// Partition the op graph's communication structure into num_parts groups
+// minimizing cut bytes under the balance constraint.
+Partitioning MetisPartition(const graph::OpGraph& graph,
+                            const MetisOptions& options);
+
+// Lower-level entry point on an already-built weighted graph.
+Partitioning MetisPartitionWeighted(const WeightedGraph& graph,
+                                    const MetisOptions& options);
+
+}  // namespace eagle::partition

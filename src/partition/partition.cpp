@@ -1,0 +1,86 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.h"
+
+namespace eagle::partition {
+
+std::int64_t WeightedGraph::total_vertex_weight() const {
+  std::int64_t total = 0;
+  for (auto w : vwgt) total += w;
+  return total;
+}
+
+WeightedGraph BuildWeightedGraph(const graph::OpGraph& graph) {
+  const int n = graph.num_ops();
+  // Merge parallel/bidirectional edges.
+  std::vector<std::map<std::int32_t, std::int64_t>> nbr(
+      static_cast<std::size_t>(n));
+  for (const auto& e : graph.edges()) {
+    nbr[static_cast<std::size_t>(e.src)][e.dst] += e.bytes;
+    nbr[static_cast<std::size_t>(e.dst)][e.src] += e.bytes;
+  }
+  WeightedGraph wg;
+  wg.xadj.reserve(static_cast<std::size_t>(n) + 1);
+  wg.xadj.push_back(0);
+  wg.vwgt.assign(static_cast<std::size_t>(n), 1);
+  for (int v = 0; v < n; ++v) {
+    for (const auto& [u, w] : nbr[static_cast<std::size_t>(v)]) {
+      wg.adjncy.push_back(u);
+      // Zero-byte edges still express structure; floor at 1 so matching and
+      // min-cut see them.
+      wg.adjwgt.push_back(std::max<std::int64_t>(w, 1));
+    }
+    wg.xadj.push_back(static_cast<std::int32_t>(wg.adjncy.size()));
+  }
+  return wg;
+}
+
+void ValidatePartitioning(const WeightedGraph& graph, const Partitioning& part,
+                          int num_parts) {
+  EAGLE_CHECK_MSG(static_cast<int>(part.size()) == graph.num_vertices(),
+                  "partitioning size mismatch");
+  for (auto p : part) {
+    EAGLE_CHECK_MSG(p >= 0 && p < num_parts, "part id " << p << " invalid");
+  }
+}
+
+std::int64_t CutWeight(const WeightedGraph& graph, const Partitioning& part) {
+  std::int64_t cut = 0;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    for (std::int32_t i = graph.xadj[static_cast<std::size_t>(v)];
+         i < graph.xadj[static_cast<std::size_t>(v) + 1]; ++i) {
+      const std::int32_t u = graph.adjncy[static_cast<std::size_t>(i)];
+      if (u > v && part[static_cast<std::size_t>(v)] !=
+                       part[static_cast<std::size_t>(u)]) {
+        cut += graph.adjwgt[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  return cut;
+}
+
+PartitionMetrics ComputeMetrics(const WeightedGraph& graph,
+                                const Partitioning& part, int num_parts) {
+  ValidatePartitioning(graph, part, num_parts);
+  PartitionMetrics m;
+  m.part_weights.assign(static_cast<std::size_t>(num_parts), 0);
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    m.part_weights[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
+        graph.vwgt[static_cast<std::size_t>(v)];
+  }
+  for (auto w : m.part_weights) {
+    if (w > 0) m.num_nonempty++;
+  }
+  m.cut_weight = CutWeight(graph, part);
+  const double ideal = static_cast<double>(graph.total_vertex_weight()) /
+                       std::max(1, num_parts);
+  const std::int64_t max_weight =
+      *std::max_element(m.part_weights.begin(), m.part_weights.end());
+  m.balance = ideal > 0.0 ? static_cast<double>(max_weight) / ideal : 0.0;
+  return m;
+}
+
+}  // namespace eagle::partition

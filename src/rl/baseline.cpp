@@ -1,0 +1,16 @@
+#include "rl/baseline.h"
+
+namespace eagle::rl {
+
+double EmaBaseline::AdvantageAndUpdate(double reward) {
+  if (!initialized_) {
+    value_ = reward;
+    initialized_ = true;
+    return 0.0;
+  }
+  const double advantage = reward - value_;
+  value_ = decay_ * value_ + (1.0 - decay_) * reward;
+  return advantage;
+}
+
+}  // namespace eagle::rl

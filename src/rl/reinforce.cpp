@@ -1,0 +1,29 @@
+#include "rl/reinforce.h"
+
+#include "support/check.h"
+
+namespace eagle::rl {
+
+double ReinforceUpdate(PolicyAgent& agent, nn::Adam& optimizer,
+                       const std::vector<Sample>& batch,
+                       const ReinforceOptions& options) {
+  EAGLE_CHECK(!batch.empty());
+  nn::Tape tape;
+  nn::Var loss;
+  const float scale = -1.0f / static_cast<float>(batch.size());
+  bool first = true;
+  for (const Sample& sample : batch) {
+    const auto score = agent.ScoreDecision(tape, sample);
+    nn::Var term = tape.Scale(
+        score.logp, scale * static_cast<float>(sample.advantage));
+    nn::Var ent = tape.Scale(
+        score.entropy, scale * static_cast<float>(options.entropy_coef));
+    nn::Var combined = tape.Add(term, ent);
+    loss = first ? combined : tape.Add(loss, combined);
+    first = false;
+  }
+  tape.Backward(loss);
+  return optimizer.Step();
+}
+
+}  // namespace eagle::rl

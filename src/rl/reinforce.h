@@ -1,0 +1,21 @@
+// REINFORCE (policy-gradient) update, the baseline algorithm of §III-D.
+#pragma once
+
+#include <vector>
+
+#include "nn/adam.h"
+#include "rl/episode.h"
+
+namespace eagle::rl {
+
+struct ReinforceOptions {
+  double entropy_coef = 0.01;
+};
+
+// One gradient step on a minibatch:  L = -mean_i(logp_i * Â_i) - c*H.
+// Returns the pre-clip gradient norm.
+double ReinforceUpdate(PolicyAgent& agent, nn::Adam& optimizer,
+                       const std::vector<Sample>& batch,
+                       const ReinforceOptions& options);
+
+}  // namespace eagle::rl

@@ -1,0 +1,17 @@
+#include "rl/reward.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace eagle::rl {
+
+double ComputeReward(const sim::EvalResult& eval,
+                     const RewardOptions& options) {
+  EAGLE_CHECK(options.invalid_penalty_seconds > 0.0);
+  const double t =
+      eval.valid ? eval.per_step_seconds : options.invalid_penalty_seconds;
+  return -std::sqrt(t);
+}
+
+}  // namespace eagle::rl

@@ -1,0 +1,18 @@
+// Reward shaping (Eq. 4): R = -sqrt(per-step time); invalid placements are
+// charged a penalty time so the agent learns to avoid OOM regions.
+#pragma once
+
+#include "sim/measurement.h"
+
+namespace eagle::rl {
+
+struct RewardOptions {
+  // Per-step time charged to invalid (OOM) placements. Benches set this to
+  // ~10x a feasible placement's time; must be positive.
+  double invalid_penalty_seconds = 100.0;
+};
+
+double ComputeReward(const sim::EvalResult& eval,
+                     const RewardOptions& options);
+
+}  // namespace eagle::rl

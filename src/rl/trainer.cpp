@@ -1,0 +1,114 @@
+#include "rl/trainer.h"
+
+#include <cmath>
+#include <memory>
+
+#include "nn/serialize.h"
+#include "support/check.h"
+#include "support/log.h"
+
+namespace eagle::rl {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kReinforce: return "REINFORCE";
+    case Algorithm::kPpo: return "PPO";
+    case Algorithm::kPpoCe: return "PPO+CE";
+  }
+  return "?";
+}
+
+TrainResult TrainAgent(PolicyAgent& agent, Environment& environment,
+                       const TrainerOptions& options,
+                       const ProgressCallback& on_progress) {
+  EAGLE_CHECK(options.total_samples >= 1 && options.minibatch_size >= 1);
+  support::Rng rng(options.seed);
+  nn::Adam optimizer(agent.params(), options.adam);
+  EmaBaseline baseline(options.ema_decay);
+  std::unique_ptr<ValueBaseline> critic;
+  if (options.baseline == BaselineKind::kValueNetwork) {
+    critic = std::make_unique<ValueBaseline>(options.num_devices,
+                                             options.value_baseline);
+  }
+  RewardOptions reward_options{environment.InvalidPenaltySeconds()};
+
+  TrainResult result;
+  std::vector<Sample> pool;  // all samples (CE elite selection)
+  std::vector<Sample> batch;
+  batch.reserve(static_cast<std::size_t>(options.minibatch_size));
+  int since_ce = 0;
+
+  while (result.total_samples < options.total_samples) {
+    if (options.max_virtual_hours > 0.0 &&
+        result.total_virtual_hours >= options.max_virtual_hours) {
+      break;
+    }
+    Sample sample = agent.SampleDecision(rng);
+    const sim::Placement placement = agent.ToPlacement(sample);
+    const sim::EvalResult eval = environment.Evaluate(placement, &rng);
+    sample.valid = eval.valid;
+    sample.per_step_seconds = eval.per_step_seconds;
+    sample.reward = ComputeReward(eval, reward_options);
+    if (critic != nullptr) {
+      sample.advantage = sample.reward - critic->Predict(sample);
+      baseline.AdvantageAndUpdate(sample.reward);  // tracked for logging
+    } else {
+      sample.advantage = baseline.AdvantageAndUpdate(sample.reward);
+    }
+
+    result.total_samples++;
+    result.total_virtual_hours += eval.measurement_cost_seconds / 3600.0;
+    if (!eval.valid) {
+      result.invalid_samples++;
+    } else if (eval.true_per_step_seconds < result.best_per_step_seconds) {
+      result.found_valid = true;
+      result.best_per_step_seconds = eval.true_per_step_seconds;
+      result.best_placement = placement;
+      result.best_found_at_hours = result.total_virtual_hours;
+      if (!options.checkpoint_path.empty()) {
+        nn::SaveParams(agent.params(), options.checkpoint_path);
+      }
+    }
+
+    HistoryPoint point;
+    point.sample_index = result.total_samples;
+    point.virtual_hours = result.total_virtual_hours;
+    point.per_step_seconds = eval.valid
+                                 ? eval.per_step_seconds
+                                 : std::numeric_limits<double>::infinity();
+    point.best_so_far_seconds = result.best_per_step_seconds;
+    result.history.push_back(point);
+    if (on_progress) on_progress(point);
+
+    batch.push_back(std::move(sample));
+    ++since_ce;
+
+    if (static_cast<int>(batch.size()) >= options.minibatch_size) {
+      if (critic != nullptr) critic->Update(batch);
+      switch (options.algorithm) {
+        case Algorithm::kReinforce:
+          ReinforceUpdate(agent, optimizer, batch, options.reinforce);
+          break;
+        case Algorithm::kPpo:
+          PpoUpdate(agent, optimizer, batch, options.ppo);
+          break;
+        case Algorithm::kPpoCe: {
+          PpoUpdate(agent, optimizer, batch, options.ppo);
+          for (auto& s : batch) pool.push_back(std::move(s));
+          if (since_ce >= options.ce_interval) {
+            const int used =
+                CrossEntropyUpdate(agent, optimizer, pool, options.ce);
+            EAGLE_LOG(Debug) << agent.name() << ": CE update over " << used
+                             << " elites at sample " << result.total_samples;
+            since_ce = 0;
+          }
+          break;
+        }
+      }
+      batch.clear();
+    }
+  }
+  return result;
+}
+
+}  // namespace eagle::rl

@@ -1,0 +1,93 @@
+// The RL training loop shared by all agents: sample placements in
+// minibatches, evaluate them in the environment, shape rewards/advantages
+// with the EMA baseline, and update the agent with the configured
+// algorithm (REINFORCE / PPO / PPO joint with cross-entropy, §III-D).
+//
+// The loop also maintains the *virtual clock*: each evaluated placement
+// charges its measurement cost (session setup + warm-up + 15 measured
+// steps, §IV-C) so training curves can be plotted against simulated hours
+// exactly as Figs. 2 and 5–7 plot real hours.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "nn/adam.h"
+#include "rl/baseline.h"
+#include "rl/cross_entropy.h"
+#include "rl/episode.h"
+#include "rl/ppo.h"
+#include "rl/reinforce.h"
+#include "rl/reward.h"
+#include "rl/value_baseline.h"
+
+namespace eagle::rl {
+
+// Environment abstraction implemented by core::PlacementEnvironment.
+class Environment {
+ public:
+  virtual ~Environment() = default;
+  // Evaluates a normalized placement; rng drives measurement noise.
+  virtual sim::EvalResult Evaluate(const sim::Placement& placement,
+                                   support::Rng* rng) = 0;
+  // Penalty per-step time charged to invalid placements.
+  virtual double InvalidPenaltySeconds() const = 0;
+};
+
+enum class Algorithm { kReinforce, kPpo, kPpoCe };
+
+const char* AlgorithmName(Algorithm algorithm);
+
+// Advantage baseline: the paper's EMA (§III-D, Eq. 4) or the A2C-style
+// learned critic the paper evaluated and found under-trained at device-
+// placement sample rates (kept for the baseline-comparison bench).
+enum class BaselineKind { kEma, kValueNetwork };
+
+struct TrainerOptions {
+  Algorithm algorithm = Algorithm::kPpo;
+  int total_samples = 300;
+  int minibatch_size = 10;      // placements per update (paper: 10)
+  PpoOptions ppo;               // ε=0.3, 4 epochs, entropy 0.01
+  ReinforceOptions reinforce;
+  CrossEntropyOptions ce;       // top-5 elites
+  int ce_interval = 50;         // samples between CE updates (paper: 50)
+  double ema_decay = 0.9;
+  BaselineKind baseline = BaselineKind::kEma;
+  ValueBaselineOptions value_baseline;
+  int num_devices = 5;          // critic input width (cluster size)
+  nn::AdamOptions adam;         // lr=0.01, clip=1.0 (paper)
+  std::uint64_t seed = 7;
+  // Stop early once the virtual clock passes this budget (<=0: unlimited).
+  double max_virtual_hours = 0.0;
+  // When set, the agent's parameters are checkpointed here every time a
+  // new best placement is found (resumable with nn::LoadParams).
+  std::string checkpoint_path;
+};
+
+struct HistoryPoint {
+  int sample_index = 0;
+  double virtual_hours = 0.0;
+  double per_step_seconds = 0.0;      // this sample (inf if invalid)
+  double best_so_far_seconds = 0.0;   // running best true per-step time
+};
+
+struct TrainResult {
+  bool found_valid = false;
+  sim::Placement best_placement;
+  double best_per_step_seconds = std::numeric_limits<double>::infinity();
+  double best_found_at_hours = 0.0;
+  double total_virtual_hours = 0.0;
+  int invalid_samples = 0;
+  int total_samples = 0;
+  std::vector<HistoryPoint> history;
+};
+
+using ProgressCallback = std::function<void(const HistoryPoint&)>;
+
+TrainResult TrainAgent(PolicyAgent& agent, Environment& environment,
+                       const TrainerOptions& options,
+                       const ProgressCallback& on_progress = nullptr);
+
+}  // namespace eagle::rl

@@ -1,0 +1,32 @@
+// Analytical per-op and per-transfer cost model.
+//
+// Compute: roofline-style max(flops/rate, bytes/mem_bw) plus a fixed
+// dispatch overhead — small ops are overhead-dominated (why Inception-V3
+// prefers a single device), large matmuls are compute-dominated, large
+// elementwise ops are bandwidth-dominated.
+// Transfers: latency + bytes/bandwidth on the directed link.
+#pragma once
+
+#include "graph/op_def.h"
+#include "sim/device.h"
+
+namespace eagle::sim {
+
+class CostModel {
+ public:
+  explicit CostModel(const ClusterSpec& cluster) : cluster_(&cluster) {}
+
+  // Execution time of `op` on `device`, in seconds.
+  double ComputeSeconds(const graph::OpDef& op, DeviceId device) const;
+
+  // Time to move `bytes` from `src` to `dst`, in seconds (0 if same).
+  double TransferSeconds(DeviceId src, DeviceId dst,
+                         std::int64_t bytes) const;
+
+  const ClusterSpec& cluster() const { return *cluster_; }
+
+ private:
+  const ClusterSpec* cluster_;
+};
+
+}  // namespace eagle::sim

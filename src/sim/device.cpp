@@ -1,0 +1,156 @@
+#include "sim/device.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace eagle::sim {
+
+DeviceId ClusterSpec::AddDevice(DeviceSpec spec) {
+  const auto id = static_cast<DeviceId>(devices_.size());
+  devices_.push_back(std::move(spec));
+  // Grow the link matrices, preserving existing entries.
+  const int n = num_devices();
+  std::vector<LinkSpec> links(static_cast<std::size_t>(n) *
+                              static_cast<std::size_t>(n));
+  std::vector<int> channels(static_cast<std::size_t>(n) *
+                                static_cast<std::size_t>(n),
+                            -1);
+  for (int s = 0; s + 1 < n; ++s) {
+    for (int d = 0; d + 1 < n; ++d) {
+      const auto to = static_cast<std::size_t>(s) *
+                          static_cast<std::size_t>(n) +
+                      static_cast<std::size_t>(d);
+      const auto from = static_cast<std::size_t>(s) *
+                            static_cast<std::size_t>(n - 1) +
+                        static_cast<std::size_t>(d);
+      links[to] = links_[from];
+      channels[to] = link_channels_[from];
+    }
+  }
+  links_ = std::move(links);
+  link_channels_ = std::move(channels);
+  return id;
+}
+
+void ClusterSpec::SetLinkChannel(DeviceId src, DeviceId dst, int channel) {
+  const int n = num_devices();
+  EAGLE_CHECK(src >= 0 && src < n && dst >= 0 && dst < n && channel >= 0);
+  link_channels_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
+                 static_cast<std::size_t>(dst)] = channel;
+}
+
+int ClusterSpec::link_channel(DeviceId src, DeviceId dst) const {
+  const int n = num_devices();
+  EAGLE_CHECK(src >= 0 && src < n && dst >= 0 && dst < n);
+  const int custom =
+      link_channels_[static_cast<std::size_t>(src) *
+                         static_cast<std::size_t>(n) +
+                     static_cast<std::size_t>(dst)];
+  // Custom channels occupy [0, n*n); default per-pair channels are offset
+  // past them so the two ranges never collide.
+  return custom >= 0 ? custom : n * n + src * n + dst;
+}
+
+int ClusterSpec::num_link_channels() const {
+  const int n = num_devices();
+  return 2 * n * n;
+}
+
+void ClusterSpec::SetLink(DeviceId src, DeviceId dst, LinkSpec link) {
+  const int n = num_devices();
+  EAGLE_CHECK(src >= 0 && src < n && dst >= 0 && dst < n);
+  links_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(dst)] = link;
+}
+
+const DeviceSpec& ClusterSpec::device(DeviceId id) const {
+  EAGLE_CHECK_MSG(id >= 0 && id < num_devices(),
+                  "device id " << id << " out of range");
+  return devices_[static_cast<std::size_t>(id)];
+}
+
+const LinkSpec& ClusterSpec::link(DeviceId src, DeviceId dst) const {
+  const int n = num_devices();
+  EAGLE_CHECK(src >= 0 && src < n && dst >= 0 && dst < n);
+  return links_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(dst)];
+}
+
+DeviceId ClusterSpec::FirstCpu() const {
+  for (DeviceId i = 0; i < num_devices(); ++i) {
+    if (device(i).kind == DeviceKind::kCPU) return i;
+  }
+  return -1;
+}
+
+std::vector<DeviceId> ClusterSpec::Gpus() const {
+  std::vector<DeviceId> out;
+  for (DeviceId i = 0; i < num_devices(); ++i) {
+    if (device(i).kind == DeviceKind::kGPU) out.push_back(i);
+  }
+  return out;
+}
+
+std::string ClusterSpec::ToString() const {
+  std::ostringstream os;
+  for (DeviceId i = 0; i < num_devices(); ++i) {
+    const auto& d = device(i);
+    os << d.name << " (" << (d.kind == DeviceKind::kGPU ? "GPU" : "CPU")
+       << ", " << d.gflops << " GFLOPS, "
+       << static_cast<double>(d.memory_bytes) / (1 << 30) << " GB)";
+    if (i + 1 < num_devices()) os << ", ";
+  }
+  return os.str();
+}
+
+ClusterSpec MakeDefaultCluster(const ClusterOptions& options) {
+  ClusterSpec cluster;
+  DeviceSpec cpu;
+  cpu.name = "/cpu:0";
+  cpu.kind = DeviceKind::kCPU;
+  cpu.gflops = options.cpu_gflops;
+  cpu.mem_bw_gbps = 60.0;
+  cpu.launch_overhead_us = 25.0;
+  cpu.memory_bytes = 120LL << 30;  // 125 GB host RAM in the paper's machine
+  const DeviceId cpu_id = cluster.AddDevice(cpu);
+
+  std::vector<DeviceId> gpus;
+  for (int i = 0; i < options.num_gpus; ++i) {
+    DeviceSpec gpu;
+    gpu.name = "/gpu:" + std::to_string(i);
+    gpu.kind = DeviceKind::kGPU;
+    gpu.gflops = options.gpu_gflops;
+    gpu.mem_bw_gbps = 550.0;
+    gpu.launch_overhead_us = 50.0;
+    gpu.memory_bytes = options.gpu_memory_bytes;
+    gpus.push_back(cluster.AddDevice(gpu));
+  }
+
+  LinkSpec host_link{options.pcie_gbps, options.pcie_latency_us};
+  // GPU peer-to-peer traffic crosses the PCIe switch: a bit slower.
+  LinkSpec peer_link{options.pcie_gbps * 0.8, options.pcie_latency_us * 1.3};
+  for (DeviceId g : gpus) {
+    cluster.SetLink(cpu_id, g, host_link);
+    cluster.SetLink(g, cpu_id, host_link);
+    if (options.shared_host_bus) {
+      cluster.SetLinkChannel(cpu_id, g, 0);
+      cluster.SetLinkChannel(g, cpu_id, 0);
+    }
+    for (DeviceId other : gpus) {
+      if (g != other) cluster.SetLink(g, other, peer_link);
+    }
+  }
+  return cluster;
+}
+
+ClusterSpec MakeScaledCluster(double memory_scale,
+                              const ClusterOptions& options) {
+  EAGLE_CHECK(memory_scale > 0.0);
+  ClusterOptions scaled = options;
+  scaled.gpu_memory_bytes = static_cast<std::int64_t>(
+      static_cast<double>(options.gpu_memory_bytes) * memory_scale);
+  return MakeDefaultCluster(scaled);
+}
+
+}  // namespace eagle::sim

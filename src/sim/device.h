@@ -1,0 +1,95 @@
+// Device and cluster specifications for the execution simulator.
+//
+// The default cluster mirrors the paper's environment (§IV-C): one machine
+// with 4 NVIDIA P100 GPUs and 2 Xeon E5-2650v4 CPUs (modelled as a single
+// CPU device, as TensorFlow exposes it), connected over PCIe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eagle::sim {
+
+enum class DeviceKind { kCPU, kGPU };
+
+using DeviceId = std::int32_t;
+
+struct DeviceSpec {
+  std::string name;
+  DeviceKind kind = DeviceKind::kGPU;
+  // Effective (not peak) compute rate for training kernels.
+  double gflops = 4000.0;
+  // Local memory bandwidth, used for memory-bound elementwise ops.
+  double mem_bw_gbps = 500.0;
+  // Per-op dispatch overhead: kernel launch on GPU, op dispatch on CPU.
+  // This is what makes spreading a small model (Inception-V3) lose.
+  double launch_overhead_us = 15.0;
+  // Usable memory after framework reservations.
+  std::int64_t memory_bytes = 0;
+};
+
+struct LinkSpec {
+  double bandwidth_gbps = 12.0;  // PCIe gen3 x16 effective
+  double latency_us = 10.0;
+};
+
+class ClusterSpec {
+ public:
+  ClusterSpec() = default;
+
+  DeviceId AddDevice(DeviceSpec spec);
+  void SetLink(DeviceId src, DeviceId dst, LinkSpec link);
+
+  // Assigns the directed link to a contention channel: transfers on links
+  // sharing a channel serialize against each other (e.g. all host<->GPU
+  // links crossing one PCIe root complex). Default: every directed link
+  // is its own channel.
+  void SetLinkChannel(DeviceId src, DeviceId dst, int channel);
+  // Dense channel index for a directed link (always valid).
+  int link_channel(DeviceId src, DeviceId dst) const;
+  int num_link_channels() const;
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  const DeviceSpec& device(DeviceId id) const;
+  const LinkSpec& link(DeviceId src, DeviceId dst) const;
+
+  // First CPU device (placement target for cpu_only ops); -1 if none.
+  DeviceId FirstCpu() const;
+  // All GPU device ids in insertion order.
+  std::vector<DeviceId> Gpus() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<DeviceSpec> devices_;
+  std::vector<LinkSpec> links_;     // row-major [src * n + dst]
+  std::vector<int> link_channels_;  // row-major; -1 == own channel
+};
+
+struct ClusterOptions {
+  int num_gpus = 4;
+  // P100 16GB exists, but the paper's OOM discussion assumes "typical GPUs
+  // only have 12GB to 16GB" — we model 12GB cards with ~92% usable after
+  // the framework's allocator reservation.
+  std::int64_t gpu_memory_bytes = static_cast<std::int64_t>(11.0 * (1LL << 30));
+  double gpu_gflops = 2500.0;   // effective P100 fp32 throughput in training
+  double cpu_gflops = 80.0;     // 2x E5-2650v4, effective
+  double pcie_gbps = 11.0;
+  double pcie_latency_us = 50.0;  // includes TF send/recv rendezvous cost
+  // When true, all host<->GPU links share one contention channel (a
+  // single PCIe root complex) instead of independent per-pair channels.
+  bool shared_host_bus = false;
+};
+
+// 4x P100 + CPU, fully connected over PCIe (GPU<->GPU peer traffic crosses
+// the same switch and is modelled slightly slower than host links).
+ClusterSpec MakeDefaultCluster(const ClusterOptions& options = {});
+
+// Cluster scaled down alongside ZooOptions::reduced graphs: memory shrinks
+// with the models so memory-pressure behaviour (single-GPU OOM for the big
+// models) is preserved at test scale.
+ClusterSpec MakeScaledCluster(double memory_scale,
+                              const ClusterOptions& options = {});
+
+}  // namespace eagle::sim

@@ -1,0 +1,67 @@
+#include "sim/measurement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace eagle::sim {
+
+std::string EvalResult::ToString() const {
+  std::ostringstream os;
+  if (!valid) {
+    os << "INVALID (OOM)";
+  } else {
+    os << per_step_seconds << " s/step";
+  }
+  os << " [cost " << measurement_cost_seconds << " s]";
+  return os.str();
+}
+
+MeasurementSession::MeasurementSession(const graph::OpGraph& graph,
+                                       const ClusterSpec& cluster,
+                                       MeasurementOptions options,
+                                       SimulatorOptions sim_options)
+    : simulator_(graph, cluster, sim_options), options_(options) {
+  EAGLE_CHECK(options_.total_steps > options_.warmup_steps);
+  EAGLE_CHECK(options_.warmup_steps >= 0);
+}
+
+EvalResult MeasurementSession::Evaluate(const Placement& placement,
+                                        support::Rng* rng) const {
+  EvalResult result;
+  const StepResult step = simulator_.Run(placement);
+  result.step = step;
+
+  if (step.oom) {
+    // An invalid placement still costs the session setup before the
+    // framework aborts with the OOM error.
+    result.valid = false;
+    result.measurement_cost_seconds = options_.session_overhead_seconds;
+    return result;
+  }
+
+  result.valid = true;
+  result.true_per_step_seconds = step.step_seconds;
+
+  // Warm-up: the first step additionally places every parameter tensor.
+  const double warmup_extra = simulator_.ParamTransferSeconds(placement);
+  const int measured = options_.total_steps - options_.warmup_steps;
+
+  double sum = 0.0;
+  for (int i = 0; i < measured; ++i) {
+    double s = step.step_seconds;
+    if (rng != nullptr && options_.noise_stddev > 0.0) {
+      s *= std::max(0.5, 1.0 + options_.noise_stddev * rng->NextGaussian());
+    }
+    sum += s;
+  }
+  result.per_step_seconds = sum / measured;
+  result.measurement_cost_seconds =
+      options_.session_overhead_seconds + warmup_extra +
+      options_.total_steps * step.step_seconds;
+  return result;
+}
+
+}  // namespace eagle::sim

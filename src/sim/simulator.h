@@ -1,0 +1,103 @@
+// ExecutionSimulator: deterministic discrete-event simulation of one
+// training step of a placed computational graph.
+//
+// This is the substitute for the paper's physical 4-GPU machine (§IV-C).
+// Model:
+//   - each device executes its ops one at a time (list scheduling with an
+//     earliest-start / critical-path priority, matching how TF's executor
+//     keeps a device busy whenever work is ready);
+//   - cross-device edges become transfers serialized on the directed link
+//     between the two devices, paying latency + bytes/bandwidth;
+//   - a tensor sent to the same destination device more than once per step
+//     is transferred once and reused (TensorFlow's send/recv dedup) — this
+//     matters for unrolled RNNs reading shared layer weights;
+//   - device memory = resident params (+ optimizer slots) + peak live
+//     activations (scaled by an allocator-overhead factor); exceeding the
+//     device capacity marks the placement invalid (the environment's OOM
+//     signal in Table IV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/op_graph.h"
+#include "sim/cost_model.h"
+#include "sim/device.h"
+#include "sim/memory_model.h"
+#include "sim/placement.h"
+
+namespace eagle::sim {
+
+// One scheduled op execution (recorded when record_schedule is on).
+struct ScheduledOp {
+  graph::OpId op = graph::kInvalidOp;
+  DeviceId device = -1;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+// One scheduled cross-device transfer.
+struct ScheduledTransfer {
+  graph::OpId producer = graph::kInvalidOp;
+  DeviceId src = -1;
+  DeviceId dst = -1;
+  std::int64_t bytes = 0;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+struct StepResult {
+  bool oom = false;
+  DeviceId oom_device = -1;
+  double step_seconds = 0.0;
+  std::vector<double> device_busy_seconds;   // per device
+  std::vector<std::int64_t> device_peak_bytes;  // per device (incl. params)
+  std::vector<std::int64_t> device_param_bytes;
+  double transfer_seconds_total = 0.0;       // sum over link busy time
+  std::int64_t transfer_bytes_total = 0;
+  int num_transfers = 0;
+  // Populated only when SimulatorOptions::record_schedule is set.
+  std::vector<ScheduledOp> schedule;
+  std::vector<ScheduledTransfer> transfers;
+
+  std::string ToString(const ClusterSpec& cluster) const;
+};
+
+struct SimulatorOptions {
+  MemoryModelOptions memory;
+  // When false, memory accounting (and OOM detection) is skipped — used by
+  // throughput microbenches.
+  bool track_memory = true;
+  // Record the full op/transfer timeline (for trace export and the
+  // critical-path analyzer). Off by default: it allocates per op.
+  bool record_schedule = false;
+};
+
+class ExecutionSimulator {
+ public:
+  ExecutionSimulator(const graph::OpGraph& graph, const ClusterSpec& cluster,
+                     SimulatorOptions options = {});
+
+  // Simulates one steady-state training step under `placement` (which must
+  // already be normalized). Deterministic.
+  StepResult Run(const Placement& placement) const;
+
+  // Seconds to ship every parameter tensor from host to its device — the
+  // warm-up cost the measurement protocol pays on the first step.
+  double ParamTransferSeconds(const Placement& placement) const;
+
+  const graph::OpGraph& graph() const { return *graph_; }
+  const ClusterSpec& cluster() const { return *cluster_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  const graph::OpGraph* graph_;
+  const ClusterSpec* cluster_;
+  CostModel cost_model_;
+  SimulatorOptions options_;
+  std::vector<graph::OpId> topo_;       // cached topological order
+  std::vector<int> critical_priority_;  // longer downstream path == higher
+};
+
+}  // namespace eagle::sim

@@ -1,0 +1,37 @@
+// Schedule-trace export and analysis.
+//
+// ToChromeTrace renders a recorded StepResult timeline as a Chrome
+// about://tracing / Perfetto JSON file: one row per device plus one per
+// active link, so placement bottlenecks (serialized devices, hot PCIe
+// links) are visible at a glance.
+//
+// AnalyzeCriticalPath walks the recorded schedule backwards from the op
+// that finishes last and attributes the step time to compute vs transfer
+// vs queueing — the quantities a placement needs to trade off.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/op_graph.h"
+#include "sim/simulator.h"
+
+namespace eagle::sim {
+
+// Requires result.schedule recorded (SimulatorOptions::record_schedule).
+std::string ToChromeTrace(const StepResult& result,
+                          const graph::OpGraph& graph,
+                          const ClusterSpec& cluster);
+
+struct CriticalPathReport {
+  std::vector<graph::OpId> path;   // sink-first
+  double compute_seconds = 0.0;    // time on-path ops spent computing
+  double transfer_seconds = 0.0;   // time on-path data spent on links
+  double queue_seconds = 0.0;      // waiting for a busy device/link
+  std::string ToString(const graph::OpGraph& graph) const;
+};
+
+CriticalPathReport AnalyzeCriticalPath(const StepResult& result,
+                                       const graph::OpGraph& graph);
+
+}  // namespace eagle::sim

@@ -1,0 +1,64 @@
+// Tiny CLI flag parser used by benches and examples.
+//
+// Flags are of the form --name=value or --name value; bare --name sets a
+// boolean flag to true. Unrecognized flags raise an error listing the
+// registered flags, so typos in bench invocations fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eagle::support {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description = "");
+
+  // Registration. `help` is shown by --help. Returns *this for chaining.
+  ArgParser& AddInt(const std::string& name, std::int64_t default_value,
+                    const std::string& help);
+  ArgParser& AddDouble(const std::string& name, double default_value,
+                       const std::string& help);
+  ArgParser& AddBool(const std::string& name, bool default_value,
+                     const std::string& help);
+  ArgParser& AddString(const std::string& name,
+                       const std::string& default_value,
+                       const std::string& help);
+
+  // Parses argv. On --help prints usage and returns false (caller should
+  // exit 0). Throws std::invalid_argument on unknown flags / bad values.
+  bool Parse(int argc, char** argv);
+
+  std::int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  // Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+
+  const Flag& Find(const std::string& name, Kind kind) const;
+  void SetFromString(Flag& flag, const std::string& name,
+                     const std::string& value);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace eagle::support

@@ -1,0 +1,45 @@
+// Lightweight precondition / invariant checking.
+//
+// EAGLE_CHECK is always on (these are API-misuse guards on cold paths);
+// EAGLE_DCHECK compiles out in release builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace eagle::support {
+
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace eagle::support
+
+#define EAGLE_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::eagle::support::CheckFailed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define EAGLE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream eagle_os_;                                    \
+      eagle_os_ << msg;                                                \
+      ::eagle::support::CheckFailed(#cond, __FILE__, __LINE__,         \
+                                    eagle_os_.str());                  \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define EAGLE_DCHECK(cond) ((void)0)
+#else
+#define EAGLE_DCHECK(cond) EAGLE_CHECK(cond)
+#endif

@@ -1,0 +1,46 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace eagle::support {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= g_level.load()), level_(level) {
+  if (enabled_) os_ << "[" << LevelName(level) << " " << Basename(file) << ":"
+                    << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    os_ << "\n";
+    std::fputs(os_.str().c_str(), stderr);
+    std::fflush(stderr);
+  }
+  (void)level_;
+}
+
+}  // namespace eagle::support

@@ -1,0 +1,43 @@
+// Minimal leveled logger writing to stderr.
+//
+// Usage: EAGLE_LOG(INFO) << "trained " << n << " steps";
+// Level is a process-wide setting; benches set it from --verbose.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace eagle::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// RAII message builder; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace eagle::support
+
+#define EAGLE_LOG(severity)                                             \
+  ::eagle::support::LogMessage(::eagle::support::LogLevel::k##severity, \
+                               __FILE__, __LINE__)

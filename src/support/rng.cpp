@@ -1,0 +1,60 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace eagle::support {
+
+std::uint64_t Rng::NextBelow(std::uint64_t n) {
+  EAGLE_CHECK(n > 0);
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  EAGLE_CHECK(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(NextBelow(span));
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; draw until u1 is non-zero to keep log() finite.
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double two_pi = 6.28318530717958647692;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+std::size_t Rng::NextCategorical(const std::vector<double>& weights) {
+  EAGLE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    EAGLE_CHECK_MSG(w >= 0.0, "negative categorical weight " << w);
+    total += w;
+  }
+  if (total <= 0.0) return static_cast<std::size_t>(NextBelow(weights.size()));
+  double r = NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: return last bucket
+}
+
+std::size_t Rng::NextFromProbs(const float* probs, std::size_t n) {
+  EAGLE_CHECK(n > 0);
+  double r = NextDouble();
+  for (std::size_t i = 0; i < n; ++i) {
+    r -= static_cast<double>(probs[i]);
+    if (r < 0.0) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace eagle::support

@@ -1,0 +1,23 @@
+// Wall-clock stopwatch for benches and progress logging.
+#pragma once
+
+#include <chrono>
+
+namespace eagle::support {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace eagle::support

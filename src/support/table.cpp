@@ -1,0 +1,168 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/log.h"
+
+namespace eagle::support {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  EAGLE_CHECK_MSG(header_.empty() || row.size() == header_.size(),
+                  "row width " << row.size() << " != header width "
+                               << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  auto rule = [&]() {
+    os << "+";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const auto& r : rows_) emit(r);
+  rule();
+  return os.str();
+}
+
+namespace {
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+bool Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    EAGLE_LOG(Warn) << "cannot write CSV to " << path;
+    return false;
+  }
+  auto line = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ",";
+      out << CsvEscape(row[i]);
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) line(header_);
+  for (const auto& r : rows_) line(r);
+  return static_cast<bool>(out);
+}
+
+bool WriteSeriesCsv(const std::string& path, const std::string& x_name,
+                    const std::string& y_name,
+                    const std::vector<SeriesPoint>& points) {
+  std::ofstream out(path);
+  if (!out) {
+    EAGLE_LOG(Warn) << "cannot write CSV to " << path;
+    return false;
+  }
+  out << "series," << x_name << "," << y_name << "\n";
+  for (const auto& p : points) {
+    out << CsvEscape(p.series) << "," << p.x << "," << p.y << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+std::string RenderAsciiSeries(const std::vector<SeriesPoint>& points,
+                              int width, int height) {
+  if (points.empty()) return "(no data)\n";
+  double xmin = points[0].x, xmax = points[0].x;
+  double ymin = points[0].y, ymax = points[0].y;
+  std::vector<std::string> names;
+  for (const auto& p : points) {
+    xmin = std::min(xmin, p.x);
+    xmax = std::max(xmax, p.x);
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+    if (std::find(names.begin(), names.end(), p.series) == names.end())
+      names.push_back(p.series);
+  }
+  if (xmax <= xmin) xmax = xmin + 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  const char* glyphs = "*o+x#@%&";
+  for (const auto& p : points) {
+    int col = static_cast<int>((p.x - xmin) / (xmax - xmin) * (width - 1));
+    int row = static_cast<int>((p.y - ymin) / (ymax - ymin) * (height - 1));
+    row = height - 1 - row;  // y grows upward
+    std::size_t series_idx =
+        std::find(names.begin(), names.end(), p.series) - names.begin();
+    grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+        glyphs[series_idx % 8];
+  }
+
+  std::ostringstream os;
+  char label[64];
+  std::snprintf(label, sizeof(label), "%10.3f |", ymax);
+  os << label << grid[0] << "\n";
+  for (int r = 1; r + 1 < height; ++r)
+    os << std::string(11, ' ') << "|" << grid[static_cast<std::size_t>(r)]
+       << "\n";
+  std::snprintf(label, sizeof(label), "%10.3f |", ymin);
+  os << label << grid[static_cast<std::size_t>(height - 1)] << "\n";
+  os << std::string(11, ' ') << "+" << std::string(static_cast<std::size_t>(width), '-')
+     << "\n";
+  std::snprintf(label, sizeof(label), "%12.2f", xmin);
+  os << label << std::string(static_cast<std::size_t>(std::max(0, width - 12)), ' ');
+  std::snprintf(label, sizeof(label), "%.2f", xmax);
+  os << label << "\n  legend: ";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    os << glyphs[i % 8] << "=" << names[i]
+       << (i + 1 < names.size() ? "  " : "");
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace eagle::support

@@ -1,0 +1,53 @@
+// ASCII table rendering and CSV export for bench output.
+//
+// Benches print paper-style tables to stdout and mirror them to CSV files
+// so EXPERIMENTS.md can reference machine-readable results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eagle::support {
+
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  // Formats a double with the given precision ("OOM"/"n/a" handled by
+  // callers passing strings directly).
+  static std::string Num(double v, int precision = 3);
+
+  // Renders an aligned ASCII table.
+  std::string ToString() const;
+
+  // Writes header+rows as CSV. Returns false (and logs) on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Writes a series of (x, y, tag) points to CSV — used by figure benches.
+struct SeriesPoint {
+  double x;
+  double y;
+  std::string series;
+};
+
+bool WriteSeriesCsv(const std::string& path,
+                    const std::string& x_name, const std::string& y_name,
+                    const std::vector<SeriesPoint>& points);
+
+// Renders series as a coarse ASCII chart (one line per bucket) so figure
+// benches show trends directly in the terminal.
+std::string RenderAsciiSeries(const std::vector<SeriesPoint>& points,
+                              int width = 72, int height = 18);
+
+}  // namespace eagle::support

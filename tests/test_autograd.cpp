@@ -1,0 +1,251 @@
+// Numerical gradient checks for every tape op: the analytic gradient from
+// Tape::Backward must match central finite differences on random inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layers.h"
+#include "nn/tape.h"
+#include "support/rng.h"
+
+namespace eagle::nn {
+namespace {
+
+// Builds a scalar loss from parameter `p` via `body`, then compares
+// d(loss)/dp against central differences.
+void GradCheck(int rows, int cols,
+               const std::function<Var(Tape&, Var)>& body,
+               double tolerance = 2e-2, std::uint64_t seed = 1) {
+  support::Rng rng(seed);
+  Parameter p;
+  p.name = "p";
+  p.value = Tensor(rows, cols);
+  p.grad = Tensor(rows, cols);
+  UniformInit(p.value, -1.0f, 1.0f, rng);
+
+  auto eval = [&]() {
+    Tape tape;
+    Var loss = body(tape, tape.Param(&p));
+    return static_cast<double>(tape.value(loss).at(0, 0));
+  };
+
+  // Analytic gradients.
+  p.grad.Fill(0.0f);
+  {
+    Tape tape;
+    Var loss = body(tape, tape.Param(&p));
+    tape.Backward(loss);
+  }
+
+  const float eps = 1e-3f;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const float saved = p.value.at(r, c);
+      p.value.at(r, c) = saved + eps;
+      const double up = eval();
+      p.value.at(r, c) = saved - eps;
+      const double down = eval();
+      p.value.at(r, c) = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double analytic = p.grad.at(r, c);
+      const double scale = std::max({1.0, std::abs(numeric),
+                                     std::abs(analytic)});
+      EXPECT_NEAR(analytic / scale, numeric / scale, tolerance)
+          << "at (" << r << "," << c << ")";
+    }
+  }
+}
+
+Tensor RandomTensor(int rows, int cols, std::uint64_t seed) {
+  support::Rng rng(seed);
+  Tensor t(rows, cols);
+  UniformInit(t, -1.0f, 1.0f, rng);
+  return t;
+}
+
+TEST(Autograd, MatMulLeft) {
+  const Tensor other = RandomTensor(4, 3, 2);
+  GradCheck(3, 4, [&](Tape& t, Var p) {
+    return t.Sum(t.MatMul(p, t.Input(other)));
+  });
+}
+
+TEST(Autograd, MatMulRight) {
+  const Tensor other = RandomTensor(3, 4, 3);
+  GradCheck(4, 2, [&](Tape& t, Var p) {
+    return t.Sum(t.MatMul(t.Input(other), p));
+  });
+}
+
+TEST(Autograd, MatMulBothSides) {
+  GradCheck(3, 3, [&](Tape& t, Var p) {
+    return t.Sum(t.MatMul(p, t.Tanh(p)));
+  });
+}
+
+TEST(Autograd, AddSameShape) {
+  const Tensor other = RandomTensor(2, 3, 4);
+  GradCheck(2, 3, [&](Tape& t, Var p) {
+    return t.Sum(t.Add(p, t.Input(other)));
+  });
+}
+
+TEST(Autograd, AddRowBroadcast) {
+  const Tensor big = RandomTensor(5, 3, 5);
+  GradCheck(1, 3, [&](Tape& t, Var p) {
+    return t.Sum(t.Tanh(t.Add(t.Input(big), p)));
+  });
+}
+
+TEST(Autograd, SubAndMul) {
+  const Tensor other = RandomTensor(3, 3, 6);
+  GradCheck(3, 3, [&](Tape& t, Var p) {
+    return t.Sum(t.Mul(t.Sub(p, t.Input(other)), p));
+  });
+}
+
+TEST(Autograd, ScaleAddScalar) {
+  GradCheck(2, 2, [&](Tape& t, Var p) {
+    return t.Sum(t.AddScalar(t.Scale(p, -2.5f), 0.7f));
+  });
+}
+
+TEST(Autograd, Tanh) {
+  GradCheck(3, 2, [&](Tape& t, Var p) { return t.Sum(t.Tanh(p)); });
+}
+
+TEST(Autograd, Sigmoid) {
+  GradCheck(3, 2, [&](Tape& t, Var p) { return t.Sum(t.Sigmoid(p)); });
+}
+
+TEST(Autograd, Relu) {
+  GradCheck(3, 3, [&](Tape& t, Var p) {
+    // Multiply by a random matrix so the loss isn't piecewise constant.
+    return t.Sum(t.Mul(t.Relu(p), t.Input(RandomTensor(3, 3, 7))));
+  });
+}
+
+TEST(Autograd, Exp) {
+  GradCheck(2, 3, [&](Tape& t, Var p) { return t.Sum(t.Exp(p)); });
+}
+
+TEST(Autograd, MinElem) {
+  const Tensor other = RandomTensor(3, 3, 8);
+  GradCheck(3, 3, [&](Tape& t, Var p) {
+    return t.Sum(t.MinElem(p, t.Input(other)));
+  });
+}
+
+TEST(Autograd, Clamp) {
+  GradCheck(3, 3, [&](Tape& t, Var p) {
+    return t.Sum(t.Mul(t.Clamp(p, -0.5f, 0.5f),
+                       t.Input(RandomTensor(3, 3, 9))));
+  });
+}
+
+TEST(Autograd, Softmax) {
+  const Tensor weights = RandomTensor(2, 4, 10);
+  GradCheck(2, 4, [&](Tape& t, Var p) {
+    return t.Sum(t.Mul(t.Softmax(p), t.Input(weights)));
+  });
+}
+
+TEST(Autograd, LogSoftmax) {
+  const Tensor weights = RandomTensor(2, 4, 11);
+  GradCheck(2, 4, [&](Tape& t, Var p) {
+    return t.Sum(t.Mul(t.LogSoftmax(p), t.Input(weights)));
+  });
+}
+
+TEST(Autograd, Transpose) {
+  const Tensor other = RandomTensor(2, 3, 12);
+  GradCheck(3, 2, [&](Tape& t, Var p) {
+    return t.Sum(t.Mul(t.Transpose(p), t.Input(other)));
+  });
+}
+
+TEST(Autograd, ConcatColsAndSlice) {
+  const Tensor other = RandomTensor(2, 2, 13);
+  GradCheck(2, 3, [&](Tape& t, Var p) {
+    Var cat = t.ConcatCols(p, t.Input(other));  // 2×5
+    return t.Sum(t.Tanh(t.SliceCols(cat, 1, 4)));
+  });
+}
+
+TEST(Autograd, ConcatRowsAndRow) {
+  GradCheck(2, 3, [&](Tape& t, Var p) {
+    Var stacked = t.ConcatRows({t.Row(p, 1), t.Row(p, 0), t.Row(p, 1)});
+    return t.Sum(t.Sigmoid(stacked));
+  });
+}
+
+TEST(Autograd, SumMeanSumRows) {
+  GradCheck(3, 4, [&](Tape& t, Var p) {
+    Var a = t.Mean(p);
+    Var b = t.Sum(t.Tanh(t.SumRows(p)));
+    return t.Add(a, b);
+  });
+}
+
+TEST(Autograd, PickPerRow) {
+  const Tensor weights = RandomTensor(3, 1, 14);
+  GradCheck(3, 4, [&](Tape& t, Var p) {
+    Var picked = t.PickPerRow(t.LogSoftmax(p), {2, 0, 3});
+    return t.Sum(t.Mul(picked, t.Input(weights)));
+  });
+}
+
+TEST(Autograd, DeepComposition) {
+  // A little network: two layers + softmax pick, closer to real use.
+  const Tensor x = RandomTensor(4, 5, 15);
+  GradCheck(5, 5, [&](Tape& t, Var p) {
+    Var h = t.Tanh(t.MatMul(t.Input(x), p));
+    Var logits = t.MatMul(h, t.Transpose(p));
+    return t.Sum(t.PickPerRow(t.LogSoftmax(logits), {0, 1, 2, 3}));
+  });
+}
+
+TEST(Autograd, ParamGradAccumulatesAcrossUses) {
+  support::Rng rng(16);
+  Parameter p;
+  p.name = "p";
+  p.value = Tensor(2, 2);
+  p.grad = Tensor(2, 2);
+  UniformInit(p.value, -1.0f, 1.0f, rng);
+  Tape tape;
+  Var a = tape.Param(&p);
+  Var b = tape.Param(&p);  // used twice
+  tape.Backward(tape.Sum(tape.Add(a, b)));
+  // d/dp (sum(p) + sum(p)) = 2 everywhere.
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 2; ++c) EXPECT_FLOAT_EQ(p.grad.at(r, c), 2.0f);
+}
+
+TEST(Autograd, BackwardRequiresScalarLoss) {
+  Parameter p;
+  p.name = "p";
+  p.value = Tensor(2, 2, 1.0f);
+  p.grad = Tensor(2, 2);
+  Tape tape;
+  Var v = tape.Param(&p);
+  EXPECT_THROW(tape.Backward(v), std::logic_error);
+}
+
+TEST(Autograd, ConstantsGetNoGradient) {
+  Tape tape;
+  Var c = tape.Input(Tensor(1, 1, 2.0f));
+  // A loss built only from constants cannot be differentiated.
+  EXPECT_THROW(tape.Backward(tape.Sum(c)), std::logic_error);
+}
+
+TEST(Autograd, ResetInvalidatesNodes) {
+  Tape tape;
+  Var v = tape.Input(Tensor(1, 1, 1.0f));
+  tape.Reset();
+  EXPECT_EQ(tape.num_nodes(), 0);
+  EXPECT_THROW(tape.value(v), std::logic_error);
+}
+
+}  // namespace
+}  // namespace eagle::nn

@@ -1,0 +1,117 @@
+// Tests for the extension components: recursive-bisection partitioner and
+// the Placeto-style incremental agent.
+#include <gtest/gtest.h>
+
+#include "core/placeto_agent.h"
+#include "models/synthetic.h"
+#include "partition/bisection.h"
+#include "models/zoo.h"
+#include "partition/metis_like.h"
+
+namespace eagle {
+namespace {
+
+TEST(Bisection, ValidAndBalanced) {
+  support::Rng rng(1);
+  models::RandomDagConfig config;
+  config.layers = 12;
+  config.width = 8;
+  auto g = models::BuildRandomDag(config, rng);
+  const auto wg = partition::BuildWeightedGraph(g);
+  partition::BisectionOptions options;
+  options.num_parts = 8;
+  const auto part = partition::BisectionPartitionWeighted(wg, options);
+  const auto metrics = partition::ComputeMetrics(wg, part, 8);
+  EXPECT_EQ(metrics.num_nonempty, 8);
+  EXPECT_LE(metrics.balance, 1.6);  // recursive tolerance compounds
+}
+
+TEST(Bisection, BetterThanRandomCut) {
+  auto g = models::BuildParallelChains(4, 16);
+  const auto wg = partition::BuildWeightedGraph(g);
+  partition::BisectionOptions options;
+  options.num_parts = 4;
+  const auto part = partition::BisectionPartitionWeighted(wg, options);
+  support::Rng rng(2);
+  partition::Partitioning random_part(part.size());
+  for (auto& p : random_part) {
+    p = static_cast<std::int32_t>(rng.NextBelow(4));
+  }
+  EXPECT_LT(partition::CutWeight(wg, part),
+            partition::CutWeight(wg, random_part));
+}
+
+TEST(Bisection, NonPowerOfTwoParts) {
+  auto g = models::BuildChain(30);
+  partition::BisectionOptions options;
+  options.num_parts = 5;
+  const auto part = partition::BisectionPartition(g, options);
+  const auto wg = partition::BuildWeightedGraph(g);
+  partition::ValidatePartitioning(wg, part, 5);
+  const auto metrics = partition::ComputeMetrics(wg, part, 5);
+  EXPECT_EQ(metrics.num_nonempty, 5);
+}
+
+TEST(Bisection, SingleVertexAndPart) {
+  auto g = models::BuildChain(1);  // input + one op
+  // Drop to a single-vertex case by partitioning into 1 part anyway.
+  partition::BisectionOptions options;
+  options.num_parts = 1;
+  const auto part = partition::BisectionPartition(g, options);
+  ASSERT_EQ(part.size(), 2u);
+  EXPECT_EQ(part[0], 0);
+  EXPECT_EQ(part[1], 0);
+}
+
+TEST(Bisection, Deterministic) {
+  auto g = models::BuildParallelChains(3, 10);
+  partition::BisectionOptions options;
+  options.num_parts = 6;
+  options.seed = 11;
+  EXPECT_EQ(partition::BisectionPartition(g, options),
+            partition::BisectionPartition(g, options));
+}
+
+TEST(Placeto, ImprovesOnParallelChains) {
+  auto g = models::BuildParallelChains(4, 8, 1 << 18, 2e10);
+  const auto cluster = sim::MakeDefaultCluster();
+  core::PlacetoOptions options;
+  options.episodes = 15;
+  options.num_groups = 8;
+  options.seed = 3;
+  core::PlacetoAgent agent(g, cluster, options);
+  const auto result = agent.Train();
+  ASSERT_TRUE(result.found_valid);
+  // Episodes start from all-on-one-GPU; spreading the chains must win.
+  sim::ExecutionSimulator simulator(g, cluster);
+  const auto single = simulator.Run(
+      sim::Placement::AllOnDevice(g, cluster, cluster.Gpus().front()));
+  EXPECT_LT(result.best_per_step_seconds, single.step_seconds);
+  // One sim evaluation per group change plus one per episode start.
+  EXPECT_EQ(result.simulator_evaluations,
+            options.episodes * (options.num_groups + 1));
+  ASSERT_EQ(result.episode_best.size(),
+            static_cast<std::size_t>(options.episodes));
+  // Best-so-far is monotone over episodes.
+  for (std::size_t i = 1; i < result.episode_best.size(); ++i) {
+    EXPECT_LE(result.episode_best[i], result.episode_best[i - 1]);
+  }
+}
+
+TEST(Placeto, HandlesOomStartState) {
+  // BERT-like memory pressure at tiny scale: the all-on-one-GPU start is
+  // invalid; the agent must still find valid placements.
+  models::ZooOptions zoo;
+  zoo.reduced = true;
+  auto g = models::BuildBenchmark(models::Benchmark::kBertBase, zoo);
+  const auto cluster = sim::MakeScaledCluster(0.02);
+  core::PlacetoOptions options;
+  options.episodes = 8;
+  options.num_groups = 12;
+  core::PlacetoAgent agent(g, cluster, options);
+  const auto result = agent.Train();
+  EXPECT_TRUE(result.found_valid);
+}
+
+}  // namespace
+}  // namespace eagle

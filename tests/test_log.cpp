@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "support/log.h"
+
+namespace eagle::support {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  for (auto level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                     LogLevel::kError}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST(Log, SuppressedMessagesDoNotCrash) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  // These build (and drop) their messages without touching stderr state.
+  EAGLE_LOG(Debug) << "dropped " << 1;
+  EAGLE_LOG(Info) << "dropped " << 2.5;
+  EAGLE_LOG(Warn) << "dropped " << "three";
+  SUCCEED();
+}
+
+TEST(Log, StreamsArbitraryTypes) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);  // keep test output clean
+  EAGLE_LOG(Error) << "value=" << 42 << " ratio=" << 0.5 << " flag="
+                   << true;
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace eagle::support

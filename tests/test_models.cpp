@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "models/bert.h"
+#include "models/gnmt.h"
+#include "models/inception_v3.h"
+#include "models/synthetic.h"
+#include "models/training_graph.h"
+#include "models/zoo.h"
+#include "sim/measurement.h"
+
+namespace eagle::models {
+namespace {
+
+using graph::OpGraph;
+using graph::OpType;
+
+TEST(TrainingGraph, MirrorsForwardOps) {
+  OpGraph g = BuildChain(5);
+  const int forward_ops = g.num_ops();
+  const graph::OpId loss = g.FindOp("op4");
+  const int added = AddTrainingOps(g, loss);
+  EXPECT_GT(added, 0);
+  EXPECT_GT(g.num_ops(), forward_ops);
+  // Every chain op reaches the loss, so every one gets a gradient twin.
+  EXPECT_NE(g.FindOp("grad/op0"), graph::kInvalidOp);
+  EXPECT_NE(g.FindOp("grad/op4"), graph::kInvalidOp);
+  EXPECT_TRUE(g.IsDag());
+}
+
+TEST(TrainingGraph, GradientFlowsBackward) {
+  OpGraph g = BuildChain(3);
+  AddTrainingOps(g, g.FindOp("op2"));
+  // grad/op2 -> grad/op1 edge must exist (reverse of op1 -> op2).
+  const graph::OpId g2 = g.FindOp("grad/op2");
+  const graph::OpId g1 = g.FindOp("grad/op1");
+  bool found = false;
+  for (auto ei : g.out_edges(g2)) {
+    found |= g.edges()[static_cast<std::size_t>(ei)].dst == g1;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TrainingGraph, SavedActivationEdges) {
+  OpGraph g = BuildChain(3);
+  AddTrainingOps(g, g.FindOp("op2"));
+  const graph::OpId fwd = g.FindOp("op1");
+  const graph::OpId bwd = g.FindOp("grad/op1");
+  bool found = false;
+  for (auto ei : g.out_edges(fwd)) {
+    found |= g.edges()[static_cast<std::size_t>(ei)].dst == bwd;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TrainingGraph, OptimizerOpsColocatedWithParams) {
+  graph::OpGraph g;
+  graph::OpDef var;
+  var.name = "w";
+  var.type = OpType::kVariable;
+  var.output_shape = graph::TensorShape{16, 16};
+  var.param_bytes = 1024;
+  g.AddOp(var);
+  graph::OpDef use;
+  use.name = "mm";
+  use.type = OpType::kMatMul;
+  use.output_shape = graph::TensorShape{16, 16};
+  use.flops = 100;
+  g.AddOp(use);
+  g.AddEdge(0, 1);
+  AddTrainingOps(g, 1);
+  const graph::OpId adam = g.FindOp("adam/w");
+  ASSERT_NE(adam, graph::kInvalidOp);
+  EXPECT_EQ(g.op(adam).colocation_group, g.op(0).colocation_group);
+  EXPECT_GE(g.op(0).colocation_group, 0);
+  // Optimizer slots: m and v resident next to params.
+  EXPECT_EQ(g.op(adam).param_bytes, 2 * 1024);
+}
+
+TEST(TrainingGraph, OpsOffLossPathNotMirrored) {
+  OpGraph g = BuildParallelChains(2, 2);
+  // Use the tail of chain 0 as the loss; chain 1 ops feed only the join.
+  const graph::OpId loss = g.FindOp("chain0_op1");
+  AddTrainingOps(g, loss);
+  EXPECT_NE(g.FindOp("grad/chain0_op0"), graph::kInvalidOp);
+  EXPECT_EQ(g.FindOp("grad/chain1_op0"), graph::kInvalidOp);
+}
+
+TEST(Synthetic, ChainIsDagWithExpectedSize) {
+  OpGraph g = BuildChain(10);
+  EXPECT_EQ(g.num_ops(), 11);  // + input
+  EXPECT_EQ(g.CriticalPathLength(), 11);
+}
+
+TEST(Synthetic, ParallelChainsShape) {
+  OpGraph g = BuildParallelChains(4, 3);
+  EXPECT_EQ(g.num_ops(), 1 + 4 * 3 + 1);
+  EXPECT_EQ(g.SinkOps().size(), 1u);
+  EXPECT_TRUE(g.IsDag());
+}
+
+TEST(Synthetic, RandomDagValidAndSeeded) {
+  RandomDagConfig config;
+  config.layers = 6;
+  config.width = 5;
+  support::Rng rng1(3), rng2(3);
+  OpGraph a = BuildRandomDag(config, rng1);
+  OpGraph b = BuildRandomDag(config, rng2);
+  EXPECT_TRUE(a.IsDag());
+  EXPECT_EQ(a.num_ops(), b.num_ops());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(Inception, GraphShape) {
+  OpGraph g = BuildInceptionV3();
+  EXPECT_GT(g.num_ops(), 600);
+  EXPECT_TRUE(g.IsDag());
+  // Forward ~5.7 GFLOP at batch 1; training roughly triples it.
+  EXPECT_GT(g.TotalFlops(), 10e9);
+  EXPECT_LT(g.TotalFlops(), 100e9);
+  EXPECT_NE(g.FindOp("grad/logits"), graph::kInvalidOp);
+}
+
+TEST(Inception, InferenceOnlySmaller) {
+  InceptionConfig config;
+  config.training = false;
+  OpGraph inference = BuildInceptionV3(config);
+  OpGraph training = BuildInceptionV3();
+  EXPECT_LT(inference.num_ops(), training.num_ops());
+}
+
+TEST(Gnmt, GraphShape) {
+  OpGraph g = BuildGNMT();
+  EXPECT_GT(g.num_ops(), 3000);
+  EXPECT_TRUE(g.IsDag());
+  // CPU-pinned embedding lookups present (2 per timestep + grads).
+  int cpu_only = 0;
+  for (const auto& op : g.ops()) cpu_only += op.cpu_only;
+  EXPECT_GE(cpu_only, 2 * 45);
+}
+
+TEST(Gnmt, LayersTaggedForExpertPlacement) {
+  GnmtConfig config;
+  config.seq_len = 4;
+  config.vocab = 100;
+  config.hidden = 8;
+  config.batch = 2;
+  OpGraph g = BuildGNMT(config);
+  std::set<std::string> layers;
+  for (const auto& op : g.ops()) layers.insert(op.layer);
+  EXPECT_TRUE(layers.count("encoder/lstm0"));
+  EXPECT_TRUE(layers.count("decoder/lstm3"));
+  EXPECT_TRUE(layers.count("attention"));
+  EXPECT_TRUE(layers.count("softmax"));
+}
+
+TEST(Gnmt, WeightsSharedViaVariableOps) {
+  GnmtConfig config;
+  config.seq_len = 5;
+  config.vocab = 100;
+  config.hidden = 8;
+  config.batch = 2;
+  config.training = false;
+  OpGraph g = BuildGNMT(config);
+  const graph::OpId w = g.FindOp("enc1_w");
+  ASSERT_NE(w, graph::kInvalidOp);
+  // One weight-read edge per timestep.
+  EXPECT_EQ(static_cast<int>(g.out_edges(w).size()), config.seq_len);
+}
+
+TEST(Bert, GraphShape) {
+  OpGraph g = BuildBertBase();
+  EXPECT_GT(g.num_ops(), 1000);
+  EXPECT_TRUE(g.IsDag());
+  // 12 layers x 12 heads of per-head attention ops.
+  EXPECT_NE(g.FindOp("layer11/head11/scores"), graph::kInvalidOp);
+  EXPECT_NE(g.FindOp("grad/layer0/ffn_in"), graph::kInvalidOp);
+}
+
+TEST(Bert, FlopsInExpectedRange) {
+  OpGraph g = BuildBertBase();
+  // Forward ≈ 2.1 TFLOP (incl. MLM head) at b24/s384; training ≈ 3x.
+  EXPECT_GT(g.TotalFlops(), 3e12);
+  EXPECT_LT(g.TotalFlops(), 12e12);
+}
+
+TEST(Zoo, NamesRoundTrip) {
+  EXPECT_EQ(BenchmarkFromName("inception_v3"), Benchmark::kInceptionV3);
+  EXPECT_EQ(BenchmarkFromName("gnmt"), Benchmark::kGNMT);
+  EXPECT_EQ(BenchmarkFromName("bert"), Benchmark::kBertBase);
+  EXPECT_THROW(BenchmarkFromName("alexnet"), std::logic_error);
+  for (auto bm : AllBenchmarks()) {
+    EXPECT_NE(std::string(BenchmarkName(bm)), "?");
+  }
+}
+
+TEST(Zoo, ReducedGraphsAreSmaller) {
+  ZooOptions reduced;
+  reduced.reduced = true;
+  for (auto bm : {Benchmark::kGNMT, Benchmark::kBertBase}) {
+    OpGraph small = BuildBenchmark(bm, reduced);
+    OpGraph full = BuildBenchmark(bm);
+    EXPECT_LT(small.num_ops(), full.num_ops());
+    EXPECT_TRUE(small.IsDag());
+  }
+}
+
+// The paper's memory story (§IV-A): Inception fits on one GPU; GNMT at
+// batch 256 and BERT-Base at b24/s384 do not; GNMT at the default batch
+// 128 does.
+TEST(MemoryStory, SingleGpuFeasibility) {
+  const auto cluster = sim::MakeDefaultCluster();
+  auto evaluate_single_gpu = [&cluster](const OpGraph& g) {
+    sim::MeasurementSession session(g, cluster);
+    const auto placement = sim::Placement::AllOnDevice(g, cluster, 1);
+    return session.Evaluate(placement);
+  };
+  EXPECT_TRUE(evaluate_single_gpu(BuildInceptionV3()).valid);
+  EXPECT_FALSE(evaluate_single_gpu(BuildGNMT()).valid);
+  EXPECT_FALSE(evaluate_single_gpu(BuildBertBase()).valid);
+  GnmtConfig small_batch;
+  small_batch.batch = 128;
+  EXPECT_TRUE(evaluate_single_gpu(BuildGNMT(small_batch)).valid);
+}
+
+}  // namespace
+}  // namespace eagle::models

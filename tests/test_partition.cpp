@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "models/synthetic.h"
+#include "partition/coarsen.h"
+#include "partition/fluid.h"
+#include "partition/fm_refine.h"
+#include "partition/metis_like.h"
+#include "partition/partition.h"
+
+namespace eagle::partition {
+namespace {
+
+TEST(WeightedGraph, MergesParallelEdges) {
+  graph::OpGraph g;
+  for (int i = 0; i < 2; ++i) {
+    graph::OpDef op;
+    op.name = "n" + std::to_string(i);
+    op.output_shape = graph::TensorShape{4};
+    g.AddOp(op);
+  }
+  g.AddEdge(0, 1, 100);
+  g.AddEdge(0, 1, 50);
+  const auto wg = BuildWeightedGraph(g);
+  EXPECT_EQ(wg.num_vertices(), 2);
+  // One undirected neighbor each, weight 150.
+  EXPECT_EQ(wg.xadj[1] - wg.xadj[0], 1);
+  EXPECT_EQ(wg.adjwgt[0], 150);
+  EXPECT_EQ(wg.total_vertex_weight(), 2);
+}
+
+TEST(Metrics, CutAndBalance) {
+  graph::OpGraph g = models::BuildChain(3);  // 4 ops in a path
+  const auto wg = BuildWeightedGraph(g);
+  Partitioning part{0, 0, 1, 1};
+  const auto m = ComputeMetrics(wg, part, 2);
+  EXPECT_EQ(m.num_nonempty, 2);
+  EXPECT_DOUBLE_EQ(m.balance, 1.0);
+  EXPECT_EQ(m.cut_weight, CutWeight(wg, part));
+  EXPECT_GT(m.cut_weight, 0);
+}
+
+TEST(Metrics, InvalidPartitionRejected) {
+  graph::OpGraph g = models::BuildChain(3);
+  const auto wg = BuildWeightedGraph(g);
+  EXPECT_THROW(ComputeMetrics(wg, {0, 0, 1}, 2), std::logic_error);
+  EXPECT_THROW(ComputeMetrics(wg, {0, 0, 1, 9}, 2), std::logic_error);
+}
+
+TEST(Coarsen, ConservesVertexWeight) {
+  support::Rng rng(1);
+  models::RandomDagConfig config;
+  config.layers = 10;
+  config.width = 10;
+  graph::OpGraph g = models::BuildRandomDag(config, rng);
+  const auto wg = BuildWeightedGraph(g);
+  const auto level = CoarsenOnce(wg, rng);
+  EXPECT_LT(level.graph.num_vertices(), wg.num_vertices());
+  EXPECT_EQ(level.graph.total_vertex_weight(), wg.total_vertex_weight());
+  // Mapping covers all fine vertices.
+  for (auto c : level.fine_to_coarse) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, level.graph.num_vertices());
+  }
+}
+
+TEST(Coarsen, HierarchyReachesTarget) {
+  support::Rng rng(2);
+  models::RandomDagConfig config;
+  config.layers = 20;
+  config.width = 10;
+  graph::OpGraph g = models::BuildRandomDag(config, rng);
+  const auto wg = BuildWeightedGraph(g);
+  const auto levels = BuildHierarchy(wg, 30, rng);
+  ASSERT_FALSE(levels.empty());
+  EXPECT_LE(levels.back().graph.num_vertices(), wg.num_vertices() / 2);
+}
+
+TEST(FmRefine, NeverIncreasesCut) {
+  support::Rng rng(3);
+  models::RandomDagConfig config;
+  config.layers = 12;
+  config.width = 8;
+  graph::OpGraph g = models::BuildRandomDag(config, rng);
+  const auto wg = BuildWeightedGraph(g);
+  Partitioning part(static_cast<std::size_t>(wg.num_vertices()));
+  for (auto& p : part) p = static_cast<std::int32_t>(rng.NextBelow(4));
+  const auto before = CutWeight(wg, part);
+  RefineOptions options;
+  options.num_parts = 4;
+  const auto gain = RefineKWay(wg, part, options, rng);
+  const auto after = CutWeight(wg, part);
+  EXPECT_EQ(before - after, gain);
+  EXPECT_LE(after, before);
+}
+
+TEST(FmRefine, RespectsBalanceTolerance) {
+  support::Rng rng(4);
+  models::RandomDagConfig config;
+  config.layers = 12;
+  config.width = 8;
+  graph::OpGraph g = models::BuildRandomDag(config, rng);
+  const auto wg = BuildWeightedGraph(g);
+  Partitioning part(static_cast<std::size_t>(wg.num_vertices()));
+  for (std::size_t i = 0; i < part.size(); ++i) {
+    part[i] = static_cast<std::int32_t>(i % 4);
+  }
+  RefineOptions options;
+  options.num_parts = 4;
+  options.balance_tolerance = 1.1;
+  RefineKWay(wg, part, options, rng);
+  const auto m = ComputeMetrics(wg, part, 4);
+  EXPECT_LE(m.balance, 1.1 + 0.1);  // +1 vertex granularity slack
+}
+
+TEST(MetisLike, ChainsGroupedByLocality) {
+  // Parallel chains have an obvious min-cut: one part per chain. The
+  // partitioner should get close: cut far below a random assignment.
+  graph::OpGraph g = models::BuildParallelChains(4, 16);
+  const auto wg = BuildWeightedGraph(g);
+  MetisOptions options;
+  options.num_parts = 4;
+  const auto part = MetisPartitionWeighted(wg, options);
+  const auto metis_cut = CutWeight(wg, part);
+  support::Rng rng(5);
+  std::int64_t random_cut = 0;
+  Partitioning random_part(part.size());
+  for (auto& p : random_part) p = static_cast<std::int32_t>(rng.NextBelow(4));
+  random_cut = CutWeight(wg, random_part);
+  EXPECT_LT(metis_cut, random_cut / 3);
+}
+
+TEST(MetisLike, ValidAndDeterministic) {
+  support::Rng dag_rng(42);
+  models::RandomDagConfig dag;
+  dag.layers = 15;
+  dag.width = 8;
+  graph::OpGraph g = models::BuildRandomDag(dag, dag_rng);
+  const auto wg = BuildWeightedGraph(g);
+  MetisOptions options;
+  options.num_parts = 16;
+  options.seed = 9;
+  const auto a = MetisPartitionWeighted(wg, options);
+  const auto b = MetisPartitionWeighted(wg, options);
+  EXPECT_EQ(a, b);
+  ValidatePartitioning(wg, a, 16);
+}
+
+TEST(MetisLike, MorePartsThanVertices) {
+  graph::OpGraph g = models::BuildChain(3);
+  MetisOptions options;
+  options.num_parts = 64;
+  const auto part = MetisPartition(g, options);
+  ValidatePartitioning(BuildWeightedGraph(g), part, 64);
+}
+
+TEST(Fluid, ValidPartitioning) {
+  graph::OpGraph g = models::BuildParallelChains(4, 16);
+  FluidOptions options;
+  options.num_communities = 4;
+  const auto part = FluidCommunities(g, options);
+  ValidatePartitioning(BuildWeightedGraph(g), part, 4);
+}
+
+TEST(Fluid, DeterministicBySeed) {
+  graph::OpGraph g = models::BuildParallelChains(3, 10);
+  FluidOptions options;
+  options.num_communities = 3;
+  options.seed = 17;
+  EXPECT_EQ(FluidCommunities(g, options), FluidCommunities(g, options));
+}
+
+TEST(Fluid, FindsCommunitiesOnChains) {
+  graph::OpGraph g = models::BuildParallelChains(4, 16);
+  const auto wg = BuildWeightedGraph(g);
+  FluidOptions options;
+  options.num_communities = 4;
+  const auto part = FluidCommunitiesWeighted(wg, options);
+  // Much better than random, though typically behind METIS.
+  support::Rng rng(6);
+  Partitioning random_part(part.size());
+  for (auto& p : random_part) p = static_cast<std::int32_t>(rng.NextBelow(4));
+  EXPECT_LT(CutWeight(wg, part), CutWeight(wg, random_part));
+}
+
+// Property sweep: both partitioners produce valid, better-than-random cuts
+// across random DAG shapes and seeds.
+struct PartitionPropertyCase {
+  int layers;
+  int width;
+  int parts;
+  std::uint64_t seed;
+};
+
+class PartitionProperty
+    : public ::testing::TestWithParam<PartitionPropertyCase> {};
+
+TEST_P(PartitionProperty, BetterThanRandomAndValid) {
+  const auto param = GetParam();
+  support::Rng rng(param.seed);
+  models::RandomDagConfig config;
+  config.layers = param.layers;
+  config.width = param.width;
+  graph::OpGraph g = models::BuildRandomDag(config, rng);
+  const auto wg = BuildWeightedGraph(g);
+
+  MetisOptions metis;
+  metis.num_parts = param.parts;
+  metis.seed = param.seed;
+  const auto metis_part = MetisPartitionWeighted(wg, metis);
+  ValidatePartitioning(wg, metis_part, param.parts);
+
+  FluidOptions fluid;
+  fluid.num_communities = param.parts;
+  fluid.seed = param.seed;
+  const auto fluid_part = FluidCommunitiesWeighted(wg, fluid);
+  ValidatePartitioning(wg, fluid_part, param.parts);
+
+  Partitioning random_part(static_cast<std::size_t>(wg.num_vertices()));
+  for (auto& p : random_part) {
+    p = static_cast<std::int32_t>(
+        rng.NextBelow(static_cast<std::uint64_t>(param.parts)));
+  }
+  const auto random_cut = CutWeight(wg, random_part);
+  EXPECT_LE(CutWeight(wg, metis_part), random_cut);
+  EXPECT_LE(CutWeight(wg, fluid_part), random_cut);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperty,
+    ::testing::Values(PartitionPropertyCase{8, 6, 4, 1},
+                      PartitionPropertyCase{16, 4, 4, 2},
+                      PartitionPropertyCase{12, 10, 8, 3},
+                      PartitionPropertyCase{20, 8, 16, 4},
+                      PartitionPropertyCase{6, 20, 8, 5},
+                      PartitionPropertyCase{30, 5, 4, 6}));
+
+}  // namespace
+}  // namespace eagle::partition

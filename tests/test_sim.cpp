@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "models/synthetic.h"
+#include "sim/cost_model.h"
+#include "sim/measurement.h"
+#include "sim/memory_model.h"
+#include "sim/placement.h"
+#include "sim/simulator.h"
+
+namespace eagle::sim {
+namespace {
+
+using graph::OpDef;
+using graph::OpGraph;
+using graph::OpType;
+using graph::TensorShape;
+
+ClusterSpec TwoGpuCluster() {
+  ClusterOptions options;
+  options.num_gpus = 2;
+  return MakeDefaultCluster(options);
+}
+
+TEST(Cluster, DefaultShape) {
+  const auto cluster = MakeDefaultCluster();
+  EXPECT_EQ(cluster.num_devices(), 5);  // CPU + 4 GPUs
+  EXPECT_EQ(cluster.FirstCpu(), 0);
+  EXPECT_EQ(cluster.Gpus().size(), 4u);
+  EXPECT_EQ(cluster.device(0).kind, DeviceKind::kCPU);
+}
+
+TEST(Cluster, ScaledMemory) {
+  const auto half = MakeScaledCluster(0.5);
+  const auto full = MakeDefaultCluster();
+  EXPECT_EQ(half.device(1).memory_bytes, full.device(1).memory_bytes / 2);
+}
+
+TEST(CostModel, MonotonicInFlops) {
+  const auto cluster = MakeDefaultCluster();
+  CostModel cost(cluster);
+  OpDef small, big;
+  small.flops = 1e6;
+  big.flops = 1e9;
+  small.output_shape = big.output_shape = TensorShape{1};
+  EXPECT_LT(cost.ComputeSeconds(small, 1), cost.ComputeSeconds(big, 1));
+}
+
+TEST(CostModel, GpuFasterForHeavyOps) {
+  const auto cluster = MakeDefaultCluster();
+  CostModel cost(cluster);
+  OpDef heavy;
+  heavy.flops = 1e10;
+  heavy.output_shape = TensorShape{1024};
+  EXPECT_LT(cost.ComputeSeconds(heavy, 1), cost.ComputeSeconds(heavy, 0));
+}
+
+TEST(CostModel, CpuFasterForTinyOps) {
+  // The effect the paper reports on Inception-V3: "some operations are
+  // actually running faster on the CPU devices".
+  const auto cluster = MakeDefaultCluster();
+  CostModel cost(cluster);
+  OpDef tiny;
+  tiny.flops = 1e3;
+  tiny.output_shape = TensorShape{8};
+  EXPECT_LT(cost.ComputeSeconds(tiny, 0), cost.ComputeSeconds(tiny, 1));
+}
+
+TEST(CostModel, TransferZeroSameDevice) {
+  const auto cluster = MakeDefaultCluster();
+  CostModel cost(cluster);
+  EXPECT_DOUBLE_EQ(cost.TransferSeconds(1, 1, 1 << 20), 0.0);
+  EXPECT_GT(cost.TransferSeconds(1, 2, 1 << 20), 0.0);
+}
+
+TEST(CostModel, TransferScalesWithBytes) {
+  const auto cluster = MakeDefaultCluster();
+  CostModel cost(cluster);
+  const double small = cost.TransferSeconds(1, 2, 1 << 10);
+  const double large = cost.TransferSeconds(1, 2, 1 << 30);
+  EXPECT_GT(large, small * 100);
+}
+
+TEST(Placement, CpuOnlyPinned) {
+  OpGraph g;
+  OpDef a;
+  a.name = "lookup";
+  a.type = OpType::kEmbeddingLookup;
+  a.cpu_only = true;
+  a.output_shape = TensorShape{4};
+  g.AddOp(a);
+  const auto cluster = MakeDefaultCluster();
+  auto placement = Placement::AllOnDevice(g, cluster, 2);
+  EXPECT_EQ(placement.device(0), cluster.FirstCpu());
+}
+
+TEST(Placement, ColocationCollapsesToLeader) {
+  OpGraph g;
+  for (int i = 0; i < 3; ++i) {
+    OpDef op;
+    op.name = "n" + std::to_string(i);
+    op.output_shape = TensorShape{4};
+    op.colocation_group = i < 2 ? 0 : -1;
+    g.AddOp(op);
+  }
+  const auto cluster = MakeDefaultCluster();
+  Placement placement(g, {1, 3, 2});
+  placement.Normalize(g, cluster);
+  EXPECT_EQ(placement.device(1), placement.device(0));  // follows leader
+  EXPECT_EQ(placement.device(2), 2);                    // untouched
+}
+
+TEST(Placement, CpuOnlyDragsColocationGroup) {
+  OpGraph g;
+  OpDef pinned;
+  pinned.name = "pinned";
+  pinned.cpu_only = true;
+  pinned.colocation_group = 0;
+  pinned.output_shape = TensorShape{4};
+  g.AddOp(pinned);
+  OpDef friend_op;
+  friend_op.name = "friend";
+  friend_op.colocation_group = 0;
+  friend_op.output_shape = TensorShape{4};
+  g.AddOp(friend_op);
+  const auto cluster = MakeDefaultCluster();
+  Placement placement(g, {1, 2});
+  placement.Normalize(g, cluster);
+  EXPECT_EQ(placement.device(0), cluster.FirstCpu());
+  EXPECT_EQ(placement.device(1), cluster.FirstCpu());
+}
+
+TEST(Placement, HashDiffers) {
+  OpGraph g = models::BuildChain(8);
+  const auto cluster = MakeDefaultCluster();
+  auto p1 = Placement::AllOnDevice(g, cluster, 1);
+  auto p2 = Placement::AllOnDevice(g, cluster, 2);
+  EXPECT_NE(p1.Hash(), p2.Hash());
+}
+
+TEST(Simulator, ChainSerializes) {
+  // On one device a chain's step time is the sum of its op times.
+  OpGraph g = models::BuildChain(10, 1 << 10, 1e9);
+  const auto cluster = TwoGpuCluster();
+  ExecutionSimulator simulator(g, cluster);
+  const auto result =
+      simulator.Run(Placement::AllOnDevice(g, cluster, 1));
+  CostModel cost(cluster);
+  double expected = 0.0;
+  for (graph::OpId i = 0; i < g.num_ops(); ++i) {
+    expected += cost.ComputeSeconds(g.op(i), 1);
+  }
+  EXPECT_NEAR(result.step_seconds, expected, 1e-9);
+  EXPECT_FALSE(result.oom);
+}
+
+TEST(Simulator, ParallelChainsBenefitFromTwoGpus) {
+  OpGraph g = models::BuildParallelChains(2, 12, 1 << 10, 5e9);
+  const auto cluster = TwoGpuCluster();
+  ExecutionSimulator simulator(g, cluster);
+  const auto single = simulator.Run(Placement::AllOnDevice(g, cluster, 1));
+
+  // Chain 0 on GPU1, chain 1 on GPU2.
+  std::vector<DeviceId> devices(static_cast<std::size_t>(g.num_ops()), 1);
+  for (graph::OpId i = 0; i < g.num_ops(); ++i) {
+    if (g.op(i).layer == "chain1") devices[static_cast<std::size_t>(i)] = 2;
+  }
+  Placement split(g, devices);
+  split.Normalize(g, cluster);
+  const auto parallel = simulator.Run(split);
+  EXPECT_LT(parallel.step_seconds, single.step_seconds * 0.7);
+}
+
+TEST(Simulator, StepAtLeastBusiestDevice) {
+  support::Rng rng(5);
+  models::RandomDagConfig config;
+  config.layers = 8;
+  config.width = 6;
+  OpGraph g = models::BuildRandomDag(config, rng);
+  const auto cluster = MakeDefaultCluster();
+  ExecutionSimulator simulator(g, cluster);
+  std::vector<DeviceId> devices(static_cast<std::size_t>(g.num_ops()));
+  for (auto& d : devices) d = static_cast<DeviceId>(rng.NextBelow(5));
+  Placement placement(g, devices);
+  placement.Normalize(g, cluster);
+  const auto result = simulator.Run(placement);
+  for (double busy : result.device_busy_seconds) {
+    EXPECT_GE(result.step_seconds + 1e-12, busy);
+  }
+}
+
+TEST(Simulator, TransferDedup) {
+  // A variable read by many consumers on one remote device is shipped
+  // once per step (TF send/recv dedup), not once per edge.
+  OpGraph g;
+  OpDef var;
+  var.name = "w";
+  var.type = OpType::kVariable;
+  var.output_shape = TensorShape{1};
+  var.param_bytes = 64 << 20;
+  g.AddOp(var);
+  for (int i = 0; i < 10; ++i) {
+    OpDef use;
+    use.name = "mm" + std::to_string(i);
+    use.type = OpType::kMatMul;
+    use.flops = 1e6;
+    use.output_shape = TensorShape{16};
+    g.AddOp(use);
+    g.AddEdge(0, 1 + i, 64 << 20);
+  }
+  const auto cluster = TwoGpuCluster();
+  ExecutionSimulator simulator(g, cluster);
+  std::vector<DeviceId> devices(11, 2);
+  devices[0] = 1;  // weights live on GPU1, consumers on GPU2
+  Placement placement(g, devices);
+  placement.Normalize(g, cluster);
+  const auto result = simulator.Run(placement);
+  EXPECT_EQ(result.num_transfers, 1);
+  EXPECT_EQ(result.transfer_bytes_total, 64 << 20);
+}
+
+TEST(Simulator, CrossDeviceChainPaysTransfers) {
+  OpGraph g = models::BuildChain(6, 1 << 20, 1e8);
+  const auto cluster = TwoGpuCluster();
+  ExecutionSimulator simulator(g, cluster);
+  const auto local = simulator.Run(Placement::AllOnDevice(g, cluster, 1));
+  // Alternate devices along the chain: every edge crosses.
+  std::vector<DeviceId> devices(static_cast<std::size_t>(g.num_ops()));
+  for (graph::OpId i = 0; i < g.num_ops(); ++i) {
+    devices[static_cast<std::size_t>(i)] = 1 + (i % 2);
+  }
+  Placement alternating(g, devices);
+  alternating.Normalize(g, cluster);
+  const auto remote = simulator.Run(alternating);
+  EXPECT_GT(remote.step_seconds, local.step_seconds);
+  EXPECT_EQ(remote.num_transfers, g.num_edges());
+}
+
+TEST(MemoryModel, PeakSweep) {
+  std::vector<LiveInterval> intervals{
+      {0.0, 2.0, 100}, {1.0, 3.0, 50}, {2.5, 4.0, 75}};
+  EXPECT_EQ(PeakLiveBytes(intervals), 150);
+}
+
+TEST(MemoryModel, FreeBeforeAllocAtSameTime) {
+  std::vector<LiveInterval> intervals{{0.0, 1.0, 100}, {1.0, 2.0, 100}};
+  EXPECT_EQ(PeakLiveBytes(intervals), 100);
+}
+
+TEST(MemoryModel, EmptyAndDegenerate) {
+  EXPECT_EQ(PeakLiveBytes({}), 0);
+  EXPECT_EQ(PeakLiveBytes({{1.0, 1.0, 100}}), 0);  // zero-length interval
+}
+
+TEST(Simulator, OomDetected) {
+  OpGraph g;
+  OpDef big;
+  big.name = "big";
+  big.type = OpType::kVariable;
+  big.output_shape = TensorShape{1};
+  big.param_bytes = 64LL << 30;  // 64 GB of parameters
+  g.AddOp(big);
+  const auto cluster = TwoGpuCluster();
+  ExecutionSimulator simulator(g, cluster);
+  const auto result = simulator.Run(Placement::AllOnDevice(g, cluster, 1));
+  EXPECT_TRUE(result.oom);
+  EXPECT_EQ(result.oom_device, 1);
+  // The CPU (120 GB) can hold it.
+  const auto on_cpu = simulator.Run(Placement::AllOnDevice(g, cluster, 0));
+  EXPECT_FALSE(on_cpu.oom);
+}
+
+TEST(Simulator, MemoryTrackingCanBeDisabled) {
+  OpGraph g;
+  OpDef big;
+  big.name = "big";
+  big.type = OpType::kVariable;
+  big.output_shape = TensorShape{1};
+  big.param_bytes = 64LL << 30;
+  g.AddOp(big);
+  const auto cluster = TwoGpuCluster();
+  SimulatorOptions options;
+  options.track_memory = false;
+  ExecutionSimulator simulator(g, cluster, options);
+  EXPECT_FALSE(simulator.Run(Placement::AllOnDevice(g, cluster, 1)).oom);
+}
+
+TEST(Measurement, ProtocolCostAccounting) {
+  OpGraph g = models::BuildChain(4, 1 << 10, 1e9);
+  const auto cluster = TwoGpuCluster();
+  MeasurementOptions options;
+  options.noise_stddev = 0.0;
+  MeasurementSession session(g, cluster, options);
+  const auto result =
+      session.Evaluate(Placement::AllOnDevice(g, cluster, 1));
+  ASSERT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.per_step_seconds, result.true_per_step_seconds);
+  // Cost = session overhead + param transfer + 15 steps.
+  EXPECT_NEAR(result.measurement_cost_seconds,
+              options.session_overhead_seconds +
+                  15 * result.true_per_step_seconds,
+              1e-6);
+}
+
+TEST(Measurement, NoiseAveragesOverMeasuredSteps) {
+  OpGraph g = models::BuildChain(4, 1 << 10, 1e9);
+  const auto cluster = TwoGpuCluster();
+  MeasurementOptions options;
+  options.noise_stddev = 0.05;
+  MeasurementSession session(g, cluster, options);
+  support::Rng rng(3);
+  const auto placement = Placement::AllOnDevice(g, cluster, 1);
+  const auto noisy = session.Evaluate(placement, &rng);
+  const auto clean = session.Evaluate(placement, nullptr);
+  EXPECT_NE(noisy.per_step_seconds, clean.per_step_seconds);
+  // 10 averaged steps with 5% noise: within ~5 sigma of truth.
+  EXPECT_NEAR(noisy.per_step_seconds, clean.per_step_seconds,
+              clean.per_step_seconds * 0.1);
+}
+
+TEST(Measurement, InvalidStillCostsSessionSetup) {
+  OpGraph g;
+  OpDef big;
+  big.name = "big";
+  big.type = OpType::kVariable;
+  big.output_shape = TensorShape{1};
+  big.param_bytes = 64LL << 30;
+  g.AddOp(big);
+  const auto cluster = TwoGpuCluster();
+  MeasurementSession session(g, cluster);
+  const auto result =
+      session.Evaluate(Placement::AllOnDevice(g, cluster, 1));
+  EXPECT_FALSE(result.valid);
+  EXPECT_GT(result.measurement_cost_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace eagle::sim

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "support/args.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+namespace eagle::support {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = rng.NextBelow(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all buckets hit
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(10);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.NextInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(12);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) counts[rng.NextCategorical(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, CategoricalAllZeroUniform) {
+  Rng rng(13);
+  std::vector<double> w{0.0, 0.0};
+  int ones = 0;
+  for (int i = 0; i < 2000; ++i) ones += rng.NextCategorical(w) == 1;
+  EXPECT_GT(ones, 700);
+  EXPECT_LT(ones, 1300);
+}
+
+TEST(Rng, NextFromProbs) {
+  Rng rng(14);
+  const float probs[3] = {0.0f, 1.0f, 0.0f};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextFromProbs(probs, 3), 1u);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(15);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.Shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng rng(16);
+  Rng child1 = rng.Split();
+  Rng child2 = rng.Split();
+  EXPECT_NE(child1.NextU64(), child2.NextU64());
+}
+
+TEST(Args, ParsesAllTypes) {
+  ArgParser args("test");
+  args.AddInt("samples", 100, "n");
+  args.AddDouble("lr", 0.01, "lr");
+  args.AddBool("full", false, "full scale");
+  args.AddString("model", "gnmt", "model");
+  const char* argv[] = {"prog", "--samples=25", "--lr", "0.5", "--full",
+                        "--model=bert", "extra"};
+  ASSERT_TRUE(args.Parse(7, const_cast<char**>(argv)));
+  EXPECT_EQ(args.GetInt("samples"), 25);
+  EXPECT_DOUBLE_EQ(args.GetDouble("lr"), 0.5);
+  EXPECT_TRUE(args.GetBool("full"));
+  EXPECT_EQ(args.GetString("model"), "bert");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "extra");
+}
+
+TEST(Args, UnknownFlagThrows) {
+  ArgParser args;
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_THROW(args.Parse(2, const_cast<char**>(argv)),
+               std::invalid_argument);
+}
+
+TEST(Args, BadValueThrows) {
+  ArgParser args;
+  args.AddInt("n", 1, "n");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_THROW(args.Parse(2, const_cast<char**>(argv)),
+               std::invalid_argument);
+}
+
+TEST(Args, DefaultsPreserved) {
+  ArgParser args;
+  args.AddInt("n", 42, "n");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(args.Parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(args.GetInt("n"), 42);
+}
+
+TEST(Table, RendersAligned) {
+  Table t("demo");
+  t.SetHeader({"Model", "Time"});
+  t.AddRow({"GNMT", Table::Num(1.379, 3)});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("GNMT"), std::string::npos);
+  EXPECT_NE(s.find("1.379"), std::string::npos);
+}
+
+TEST(Table, RowWidthChecked) {
+  Table t;
+  t.SetHeader({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::logic_error);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t;
+  t.SetHeader({"name", "value"});
+  t.AddRow({"with,comma", "1"});
+  const std::string path = ::testing::TempDir() + "/eagle_table.csv";
+  ASSERT_TRUE(t.WriteCsv(path));
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "name,value");
+  EXPECT_EQ(row, "\"with,comma\",1");
+  std::remove(path.c_str());
+}
+
+TEST(Series, AsciiChartContainsLegend) {
+  std::vector<SeriesPoint> pts{{0.0, 1.0, "a"}, {1.0, 2.0, "b"}};
+  const std::string chart = RenderAsciiSeries(pts, 40, 8);
+  EXPECT_NE(chart.find("a"), std::string::npos);
+  EXPECT_NE(chart.find("legend"), std::string::npos);
+}
+
+TEST(Series, CsvWritten) {
+  const std::string path = ::testing::TempDir() + "/eagle_series.csv";
+  ASSERT_TRUE(WriteSeriesCsv(path, "hours", "seconds",
+                             {{0.5, 1.25, "EAGLE"}}));
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "series,hours,seconds");
+  EXPECT_EQ(row, "EAGLE,0.5,1.25");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eagle::support

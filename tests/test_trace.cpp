@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "models/synthetic.h"
+#include "sim/trace.h"
+
+namespace eagle::sim {
+namespace {
+
+StepResult RunRecorded(const graph::OpGraph& graph,
+                       const ClusterSpec& cluster,
+                       const Placement& placement) {
+  SimulatorOptions options;
+  options.record_schedule = true;
+  ExecutionSimulator simulator(graph, cluster, options);
+  return simulator.Run(placement);
+}
+
+TEST(Trace, ScheduleCoversEveryOp) {
+  auto graph = models::BuildParallelChains(3, 5);
+  const auto cluster = MakeDefaultCluster();
+  const auto result = RunRecorded(
+      graph, cluster, Placement::AllOnDevice(graph, cluster, 1));
+  EXPECT_EQ(static_cast<int>(result.schedule.size()), graph.num_ops());
+  for (const auto& op : result.schedule) {
+    EXPECT_GE(op.start_seconds, 0.0);
+    EXPECT_GE(op.end_seconds, op.start_seconds);
+    EXPECT_LE(op.end_seconds, result.step_seconds + 1e-12);
+  }
+}
+
+TEST(Trace, ScheduleRespectsDependencies) {
+  auto graph = models::BuildChain(8);
+  const auto cluster = MakeDefaultCluster();
+  const auto result = RunRecorded(
+      graph, cluster, Placement::AllOnDevice(graph, cluster, 1));
+  std::vector<double> end(static_cast<std::size_t>(graph.num_ops()));
+  for (const auto& op : result.schedule) {
+    end[static_cast<std::size_t>(op.op)] = op.end_seconds;
+  }
+  for (const auto& op : result.schedule) {
+    for (auto ei : graph.in_edges(op.op)) {
+      const auto src = graph.edges()[static_cast<std::size_t>(ei)].src;
+      EXPECT_GE(op.start_seconds + 1e-12,
+                end[static_cast<std::size_t>(src)]);
+    }
+  }
+}
+
+TEST(Trace, NotRecordedByDefault) {
+  auto graph = models::BuildChain(4);
+  const auto cluster = MakeDefaultCluster();
+  ExecutionSimulator simulator(graph, cluster);
+  const auto result =
+      simulator.Run(Placement::AllOnDevice(graph, cluster, 1));
+  EXPECT_TRUE(result.schedule.empty());
+}
+
+TEST(Trace, ChromeJsonWellFormedish) {
+  auto graph = models::BuildParallelChains(2, 4);
+  const auto cluster = MakeDefaultCluster();
+  // Split chains across two GPUs to get transfers into the trace.
+  std::vector<DeviceId> devices(static_cast<std::size_t>(graph.num_ops()), 1);
+  for (graph::OpId i = 0; i < graph.num_ops(); ++i) {
+    if (graph.op(i).layer == "chain1") devices[static_cast<std::size_t>(i)] = 2;
+  }
+  Placement placement(graph, devices);
+  placement.Normalize(graph, cluster);
+  const auto result = RunRecorded(graph, cluster, placement);
+  ASSERT_GT(result.transfers.size(), 0u);
+
+  const std::string json = ToChromeTrace(result, graph, cluster);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"transfer\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"compute\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{';
+    braces -= c == '}';
+    brackets += c == '[';
+    brackets -= c == ']';
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Trace, ChromeJsonRequiresRecording) {
+  auto graph = models::BuildChain(3);
+  const auto cluster = MakeDefaultCluster();
+  ExecutionSimulator simulator(graph, cluster);
+  const auto result =
+      simulator.Run(Placement::AllOnDevice(graph, cluster, 1));
+  EXPECT_THROW(ToChromeTrace(result, graph, cluster), std::logic_error);
+}
+
+TEST(CriticalPath, ChainAttributesAllCompute) {
+  auto graph = models::BuildChain(6, 1 << 10, 1e9);
+  const auto cluster = MakeDefaultCluster();
+  const auto result = RunRecorded(
+      graph, cluster, Placement::AllOnDevice(graph, cluster, 1));
+  const auto report = AnalyzeCriticalPath(result, graph);
+  // A single-device chain IS the critical path: all compute, no waiting.
+  EXPECT_EQ(static_cast<int>(report.path.size()), graph.num_ops());
+  EXPECT_NEAR(report.compute_seconds, result.step_seconds, 1e-9);
+  EXPECT_NEAR(report.queue_seconds, 0.0, 1e-9);
+  EXPECT_NEAR(report.transfer_seconds, 0.0, 1e-12);
+}
+
+TEST(CriticalPath, CrossDeviceChainSeesTransfers) {
+  auto graph = models::BuildChain(6, 1 << 20, 1e8);
+  const auto cluster = MakeDefaultCluster();
+  std::vector<DeviceId> devices(static_cast<std::size_t>(graph.num_ops()));
+  for (graph::OpId i = 0; i < graph.num_ops(); ++i) {
+    devices[static_cast<std::size_t>(i)] = 1 + (i % 2);
+  }
+  Placement placement(graph, devices);
+  placement.Normalize(graph, cluster);
+  const auto result = RunRecorded(graph, cluster, placement);
+  const auto report = AnalyzeCriticalPath(result, graph);
+  EXPECT_GT(report.transfer_seconds, 0.0);
+  // compute + transfer + queue accounts for (at least most of) the step.
+  EXPECT_GE(report.compute_seconds + report.transfer_seconds +
+                report.queue_seconds,
+            result.step_seconds * 0.9);
+}
+
+TEST(CriticalPath, EmptyScheduleHandled) {
+  graph::OpGraph empty;
+  StepResult result;
+  const auto report = AnalyzeCriticalPath(result, empty);
+  EXPECT_TRUE(report.path.empty());
+}
+
+}  // namespace
+}  // namespace eagle::sim

@@ -1,0 +1,111 @@
+// Placement tracer: simulates one training step of a benchmark under a
+// chosen placement policy with full schedule recording, writes a Chrome
+// tracing / Perfetto JSON timeline, and prints the critical-path
+// attribution (compute vs transfer vs queueing).
+//
+//   $ ./trace_placement --model=gnmt --policy=expert --out=gnmt.trace.json
+//   then open chrome://tracing or https://ui.perfetto.dev
+//
+// Policies: single (one GPU), expert (the paper's human-expert layout),
+// balanced (METIS groups round-robined over the GPUs), random.
+#include <cstdio>
+#include <fstream>
+
+#include "core/expert_policies.h"
+#include "graph/grouped_graph.h"
+#include "models/zoo.h"
+#include "partition/metis_like.h"
+#include "sim/trace.h"
+#include "support/args.h"
+#include "support/rng.h"
+
+using namespace eagle;
+
+namespace {
+
+sim::Placement MakePlacement(const std::string& policy,
+                             models::Benchmark benchmark,
+                             const graph::OpGraph& graph,
+                             const sim::ClusterSpec& cluster,
+                             std::uint64_t seed) {
+  if (policy == "single") {
+    return core::SingleGpuPlacement(graph, cluster);
+  }
+  if (policy == "expert") {
+    auto expert = core::HumanExpertPlacement(benchmark, graph, cluster);
+    EAGLE_CHECK_MSG(expert.has_value(),
+                    "no expert placement for this model — try balanced");
+    return *expert;
+  }
+  if (policy == "balanced") {
+    partition::MetisOptions options;
+    options.num_parts = 4 * cluster.num_devices();
+    options.seed = seed;
+    const auto grouping = partition::MetisPartition(graph, options);
+    graph::GroupedGraph grouped(graph, grouping, options.num_parts);
+    const auto gpus = cluster.Gpus();
+    std::vector<std::int32_t> group_devices(
+        static_cast<std::size_t>(options.num_parts));
+    for (int g = 0; g < options.num_parts; ++g) {
+      group_devices[static_cast<std::size_t>(g)] =
+          gpus[static_cast<std::size_t>(g) % gpus.size()];
+    }
+    sim::Placement placement(graph, grouped.ExpandToOps(group_devices));
+    placement.Normalize(graph, cluster);
+    return placement;
+  }
+  if (policy == "random") {
+    support::Rng rng(seed);
+    std::vector<sim::DeviceId> devices(
+        static_cast<std::size_t>(graph.num_ops()));
+    for (auto& d : devices) {
+      d = static_cast<sim::DeviceId>(
+          rng.NextBelow(static_cast<std::uint64_t>(cluster.num_devices())));
+    }
+    sim::Placement placement(graph, std::move(devices));
+    placement.Normalize(graph, cluster);
+    return placement;
+  }
+  EAGLE_CHECK_MSG(false, "unknown policy '" << policy << "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args("EAGLE placement tracer");
+  args.AddString("model", "gnmt", "inception_v3 | gnmt | bert");
+  args.AddString("policy", "balanced",
+                 "single | expert | balanced | random");
+  args.AddString("out", "placement.trace.json", "trace output path");
+  args.AddInt("seed", 1, "RNG seed for the random/balanced policies");
+  if (!args.Parse(argc, argv)) return 0;
+
+  const auto benchmark = models::BenchmarkFromName(args.GetString("model"));
+  const auto graph = models::BuildBenchmark(benchmark);
+  const auto cluster = sim::MakeDefaultCluster();
+  const auto placement = MakePlacement(
+      args.GetString("policy"), benchmark, graph, cluster,
+      static_cast<std::uint64_t>(args.GetInt("seed")));
+
+  sim::SimulatorOptions options;
+  options.record_schedule = true;
+  sim::ExecutionSimulator simulator(graph, cluster, options);
+  const auto result = simulator.Run(placement);
+  std::printf("%s\n", result.ToString(cluster).c_str());
+  if (result.oom) return 1;
+
+  const auto report = sim::AnalyzeCriticalPath(result, graph);
+  std::printf("%s\n", report.ToString(graph).c_str());
+
+  std::ofstream out(args.GetString("out"));
+  out << sim::ToChromeTrace(result, graph, cluster);
+  if (!out) {
+    std::printf("cannot write %s\n", args.GetString("out").c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%d ops, %d transfers)\n",
+              args.GetString("out").c_str(),
+              static_cast<int>(result.schedule.size()),
+              static_cast<int>(result.transfers.size()));
+  return 0;
+}
