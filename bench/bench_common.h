@@ -38,6 +38,14 @@ struct BenchConfig {
   bool full = false;
   std::vector<models::Benchmark> benchmarks;
   std::string csv_prefix;
+  // Fault-injected measurement (sim::FaultProfileFromString syntax;
+  // all-zero disables).
+  sim::FaultProfile faults;
+  // Crash-safe training checkpoints: when checkpoint_dir is set every
+  // training run snapshots to <dir>/<model>_<agent>_<algorithm>.ckpt;
+  // resume restores the snapshot and continues.
+  std::string checkpoint_dir;
+  bool resume = false;
 
   core::AgentDims dims() const {
     return full ? core::AgentDims::PaperScale() : core::AgentDims{};
@@ -52,6 +60,13 @@ inline void AddCommonFlags(support::ArgParser& args, int default_samples) {
                  "comma-separated benchmark subset");
   args.AddString("csv", "", "CSV output path prefix (empty: no CSV)");
   args.AddBool("verbose", false, "log progress per minibatch");
+  args.AddString("faults", "",
+                 "fault profile, e.g. 0.1 or crash=0.1,down=0.02,"
+                 "straggler=0.2,slowdown=3,link=0.1,linkfactor=4,seed=9");
+  args.AddString("checkpoint-dir", "",
+                 "directory for crash-safe training checkpoints");
+  args.AddBool("resume", false,
+               "resume training runs from --checkpoint-dir snapshots");
 }
 
 inline BenchConfig ReadCommonFlags(const support::ArgParser& args) {
@@ -60,6 +75,9 @@ inline BenchConfig ReadCommonFlags(const support::ArgParser& args) {
   config.seed = static_cast<std::uint64_t>(args.GetInt("seed"));
   config.full = args.GetBool("full");
   config.csv_prefix = args.GetString("csv");
+  config.faults = sim::FaultProfileFromString(args.GetString("faults"));
+  config.checkpoint_dir = args.GetString("checkpoint-dir");
+  config.resume = args.GetBool("resume");
   std::string list = args.GetString("models");
   std::size_t pos = 0;
   while (pos <= list.size()) {
@@ -86,13 +104,19 @@ struct BenchContext {
   std::unique_ptr<core::PlacementEnvironment> env;
 };
 
-inline BenchContext MakeContext(models::Benchmark benchmark) {
+// When `config` is given its fault profile is installed into the
+// environment (retries with backoff, graceful degradation — see
+// core::EnvironmentOptions); a null config keeps the fault-free default.
+inline BenchContext MakeContext(models::Benchmark benchmark,
+                                const BenchConfig* config = nullptr) {
   BenchContext context;
   context.benchmark = benchmark;
   context.graph = models::BuildBenchmark(benchmark);
   context.cluster = sim::MakeDefaultCluster();
+  core::EnvironmentOptions env_options;
+  if (config != nullptr) env_options.faults = config->faults;
   context.env = std::make_unique<core::PlacementEnvironment>(
-      context.graph, context.cluster);
+      context.graph, context.cluster, env_options);
   return context;
 }
 
@@ -120,8 +144,14 @@ inline rl::TrainResult TrainOnBenchmark(
     const BenchConfig& config,
     const rl::ProgressCallback& on_progress = nullptr) {
   support::Stopwatch stopwatch;
-  const auto options =
-      PaperTrainerOptions(algorithm, config.samples, config.seed);
+  auto options = PaperTrainerOptions(algorithm, config.samples, config.seed);
+  if (!config.checkpoint_dir.empty()) {
+    options.checkpoint_dir = config.checkpoint_dir;
+    options.checkpoint_name =
+        std::string(models::BenchmarkName(context.benchmark)) + "_" +
+        agent.name() + "_" + rl::AlgorithmName(algorithm);
+    options.resume = config.resume;
+  }
   auto result = rl::TrainAgent(agent, *context.env, options, on_progress);
   EAGLE_LOG(Info) << models::BenchmarkName(context.benchmark) << " / "
                   << agent.name() << " / " << rl::AlgorithmName(algorithm)
@@ -135,6 +165,17 @@ inline rl::TrainResult TrainOnBenchmark(
                   << " simulated hours, wall "
                   << support::Table::Num(stopwatch.ElapsedSeconds(), 1)
                   << " s";
+  if (config.faults.enabled()) {
+    EAGLE_LOG(Info) << "  faults: " << context.env->attempts()
+                    << " attempts, " << context.env->transient_failures()
+                    << " failures, " << context.env->timeouts()
+                    << " timeouts, " << context.env->retries() << " retries, "
+                    << context.env->exhausted_evaluations()
+                    << " gave up, backoff "
+                    << support::Table::Num(
+                           context.env->backoff_seconds_total(), 1)
+                    << " s";
+  }
   return result;
 }
 

@@ -5,7 +5,7 @@ set -u
 BUILD=${1:-build}
 OUT=${2:-results}
 mkdir -p "$OUT"
-for b in table1 table2 table3 table4 fig2 fig5 fig6 fig7 ablation baselines placeto; do
+for b in table1 table2 table3 table4 fig2 fig5 fig6 fig7 ablation baselines placeto faults; do
   echo "=== bench_$b ==="
   "$BUILD/bench/bench_$b" --csv="$OUT/"
 done

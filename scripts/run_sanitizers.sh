@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Builds the tier-1 test suite with AddressSanitizer + UBSan and runs it.
+# Usage: scripts/run_sanitizers.sh [build-dir]
+set -eu
+BUILD=${1:-build-asan}
+cmake -B "$BUILD" -S . -DEAGLE_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j
+(cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
+echo SANITIZERS_CLEAN

@@ -2,11 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "sim/cost_model.h"
 #include "support/check.h"
 
 namespace eagle::core {
+
+namespace {
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+void ReadPod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  EAGLE_CHECK_MSG(in, "truncated environment state");
+}
+
+}  // namespace
 
 PlacementEnvironment::PlacementEnvironment(const graph::OpGraph& graph,
                                            const sim::ClusterSpec& cluster,
@@ -14,7 +31,12 @@ PlacementEnvironment::PlacementEnvironment(const graph::OpGraph& graph,
     : graph_(&graph),
       cluster_(&cluster),
       options_(options),
-      session_(graph, cluster, options.measurement, options.simulator) {
+      session_(graph, cluster, options.measurement, options.simulator),
+      fault_rng_(options.faults.seed) {
+  options_.retry.Validate();
+  if (options_.faults.enabled()) {
+    injector_ = std::make_unique<sim::FaultInjector>(options_.faults, cluster);
+  }
   // Serialized lower bound on the fastest device (ignoring memory): the
   // "if it all fit on one GPU" time, scaled into the invalid penalty.
   const sim::CostModel cost(cluster);
@@ -30,20 +52,19 @@ PlacementEnvironment::PlacementEnvironment(const graph::OpGraph& graph,
   EAGLE_CHECK(penalty_seconds_ > 0.0);
 }
 
-sim::EvalResult PlacementEnvironment::Evaluate(
+sim::EvalResult PlacementEnvironment::EvaluateFaultFree(
     const sim::Placement& placement, support::Rng* rng) {
-  ++evaluations_;
   sim::EvalResult result;
-  const std::uint64_t key = placement.Hash();
-  auto it = options_.cache_evaluations ? cache_.find(key) : cache_.end();
-  if (it != cache_.end()) {
+  const sim::EvalResult* cached =
+      options_.cache_evaluations ? cache_.Find(placement) : nullptr;
+  if (cached != nullptr) {
     ++cache_hits_;
-    result = it->second;
+    result = *cached;
   } else {
     // Cache the *noiseless* result; noise is re-applied per call below so
     // repeated visits still look like independent measurements.
     result = session_.Evaluate(placement, nullptr);
-    if (options_.cache_evaluations) cache_.emplace(key, result);
+    if (options_.cache_evaluations) cache_.Insert(placement, result);
   }
   if (result.valid && rng != nullptr &&
       options_.measurement.noise_stddev > 0.0) {
@@ -52,12 +73,101 @@ sim::EvalResult PlacementEnvironment::Evaluate(
     double sum = 0.0;
     for (int i = 0; i < measured; ++i) {
       sum += result.true_per_step_seconds *
-             std::max(0.5, 1.0 + options_.measurement.noise_stddev *
-                                     rng->NextGaussian());
+             sim::NoiseFactor(options_.measurement.noise_stddev, *rng);
     }
     result.per_step_seconds = sum / measured;
   }
   return result;
+}
+
+sim::EvalResult PlacementEnvironment::EvaluateWithRetries(
+    const sim::Placement& placement, const sim::EvalResult& clean,
+    support::Rng* rng) {
+  const support::RetryPolicy& retry = options_.retry;
+  double cost_so_far = 0.0;
+  for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+    ++attempts_;
+    const sim::FaultDraw draw = injector_->Draw(fault_rng_);
+    sim::EvalResult result = session_.EvaluateWithFaults(placement, draw, rng);
+    bool attempt_failed = result.failed;
+    double attempt_cost = result.measurement_cost_seconds;
+    if (attempt_failed) {
+      ++transient_failures_;
+    } else if (retry.attempt_timeout_seconds > 0.0 &&
+               attempt_cost > retry.attempt_timeout_seconds) {
+      // The harness kills sessions that overrun the measurement budget
+      // (e.g. a pathological straggler): the attempt charges exactly the
+      // timeout, then counts as a failure.
+      attempt_failed = true;
+      attempt_cost = retry.attempt_timeout_seconds;
+      ++timeouts_;
+    }
+    cost_so_far += attempt_cost;
+    if (!attempt_failed) {
+      // The healthy machine's per-step time is the ground truth used for
+      // best-placement tracking; what the agent *observed* stays faulty.
+      result.valid = clean.valid;
+      result.true_per_step_seconds = clean.true_per_step_seconds;
+      result.attempts = attempt;
+      result.measurement_cost_seconds = cost_so_far;
+      return result;
+    }
+    if (attempt < retry.max_attempts) {
+      ++retries_;
+      const double backoff = retry.BackoffSeconds(attempt, &fault_rng_);
+      backoff_seconds_total_ += backoff;
+      cost_so_far += backoff;
+    }
+  }
+  // Persistent failure: degrade into the invalid-placement penalty so
+  // training continues instead of aborting.
+  ++exhausted_evaluations_;
+  sim::EvalResult result;
+  result.valid = false;
+  result.failed = true;
+  result.attempts = retry.max_attempts;
+  result.measurement_cost_seconds = cost_so_far;
+  return result;
+}
+
+sim::EvalResult PlacementEnvironment::Evaluate(
+    const sim::Placement& placement, support::Rng* rng) {
+  ++evaluations_;
+  if (injector_ == nullptr) {
+    ++attempts_;
+    return EvaluateFaultFree(placement, rng);
+  }
+  // Noiseless ground truth (cached); the fault-injected attempts below
+  // draw their own noise, so the clean pass must not consume `rng`.
+  const sim::EvalResult clean = EvaluateFaultFree(placement, nullptr);
+  return EvaluateWithRetries(placement, clean, rng);
+}
+
+void PlacementEnvironment::SerializeState(std::ostream& out) const {
+  const auto rng_state = fault_rng_.state();
+  for (std::uint64_t s : rng_state) WritePod(out, s);
+  WritePod(out, cache_hits_);
+  WritePod(out, evaluations_);
+  WritePod(out, attempts_);
+  WritePod(out, transient_failures_);
+  WritePod(out, timeouts_);
+  WritePod(out, retries_);
+  WritePod(out, exhausted_evaluations_);
+  WritePod(out, backoff_seconds_total_);
+}
+
+void PlacementEnvironment::DeserializeState(std::istream& in) {
+  std::array<std::uint64_t, 4> rng_state{};
+  for (auto& s : rng_state) ReadPod(in, s);
+  fault_rng_.set_state(rng_state);
+  ReadPod(in, cache_hits_);
+  ReadPod(in, evaluations_);
+  ReadPod(in, attempts_);
+  ReadPod(in, transient_failures_);
+  ReadPod(in, timeouts_);
+  ReadPod(in, retries_);
+  ReadPod(in, exhausted_evaluations_);
+  ReadPod(in, backoff_seconds_total_);
 }
 
 }  // namespace eagle::core

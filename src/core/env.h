@@ -1,22 +1,38 @@
 // PlacementEnvironment: the environment the RL agents interact with.
 //
 // Wraps a benchmark graph + cluster + MeasurementSession, caches noiseless
-// evaluations by placement hash (the simulator is deterministic, so a
-// revisited placement costs virtual-clock time but no compute), and
-// supplies the invalid-placement penalty used by reward shaping.
+// evaluations (collision-checked by full device vector — see EvalCache),
+// and supplies the invalid-placement penalty used by reward shaping.
+//
+// Robustness layer: when EnvironmentOptions::faults is enabled, every
+// evaluation becomes a retry loop over fault-injected measurement
+// attempts (sim::FaultInjector) governed by a support::RetryPolicy —
+// session crashes, down devices and timed-out stragglers are retried
+// with exponential backoff, every attempt and backoff wait charging the
+// virtual clock; an evaluation that exhausts its retries degrades into
+// the invalid-placement penalty instead of aborting training. Retry /
+// failure counters are exposed for reporting, and the mutable fault
+// stream serializes into training checkpoints for crash-safe resume.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
-#include <unordered_map>
 
+#include "core/eval_cache.h"
 #include "rl/trainer.h"
+#include "sim/fault.h"
 #include "sim/measurement.h"
+#include "support/retry.h"
 
 namespace eagle::core {
 
 struct EnvironmentOptions {
   sim::MeasurementOptions measurement;
   sim::SimulatorOptions simulator;
+  // Fault injection (all-zero rates: disabled) and the retry policy that
+  // governs failed measurement attempts.
+  sim::FaultProfile faults;
+  support::RetryPolicy retry;
   // Invalid placements are charged penalty_factor × the serialized
   // single-fastest-device per-step lower bound.
   double penalty_factor = 10.0;
@@ -33,6 +49,10 @@ class PlacementEnvironment : public rl::Environment {
                            support::Rng* rng) override;
   double InvalidPenaltySeconds() const override { return penalty_seconds_; }
 
+  // Fault stream + robustness counters, for checkpoint/resume.
+  void SerializeState(std::ostream& out) const override;
+  void DeserializeState(std::istream& in) override;
+
   const graph::OpGraph& graph() const { return *graph_; }
   const sim::ClusterSpec& cluster() const { return *cluster_; }
   const sim::MeasurementSession& session() const { return session_; }
@@ -40,15 +60,38 @@ class PlacementEnvironment : public rl::Environment {
   int cache_hits() const { return cache_hits_; }
   int evaluations() const { return evaluations_; }
 
+  // Robustness counters (all zero when faults are disabled).
+  int attempts() const { return attempts_; }
+  int transient_failures() const { return transient_failures_; }
+  int timeouts() const { return timeouts_; }
+  int retries() const { return retries_; }
+  // Evaluations that exhausted every retry and degraded to the penalty.
+  int exhausted_evaluations() const { return exhausted_evaluations_; }
+  double backoff_seconds_total() const { return backoff_seconds_total_; }
+
  private:
+  sim::EvalResult EvaluateFaultFree(const sim::Placement& placement,
+                                    support::Rng* rng);
+  sim::EvalResult EvaluateWithRetries(const sim::Placement& placement,
+                                      const sim::EvalResult& clean,
+                                      support::Rng* rng);
+
   const graph::OpGraph* graph_;
   const sim::ClusterSpec* cluster_;
   EnvironmentOptions options_;
   sim::MeasurementSession session_;
+  std::unique_ptr<sim::FaultInjector> injector_;  // null: faults disabled
+  support::Rng fault_rng_;
   double penalty_seconds_ = 0.0;
-  std::unordered_map<std::uint64_t, sim::EvalResult> cache_;
+  EvalCache cache_;
   int cache_hits_ = 0;
   int evaluations_ = 0;
+  int attempts_ = 0;
+  int transient_failures_ = 0;
+  int timeouts_ = 0;
+  int retries_ = 0;
+  int exhausted_evaluations_ = 0;
+  double backoff_seconds_total_ = 0.0;
 };
 
 }  // namespace eagle::core

@@ -1,0 +1,30 @@
+#include "core/eval_cache.h"
+
+namespace eagle::core {
+
+const sim::EvalResult* EvalCache::FindByHash(
+    std::uint64_t hash, const std::vector<sim::DeviceId>& devices) const {
+  const auto it = buckets_.find(hash);
+  if (it == buckets_.end()) return nullptr;
+  for (const Entry& entry : it->second) {
+    if (entry.devices == devices) return &entry.result;
+  }
+  return nullptr;
+}
+
+void EvalCache::InsertByHash(std::uint64_t hash,
+                             const std::vector<sim::DeviceId>& devices,
+                             const sim::EvalResult& result) {
+  auto& bucket = buckets_[hash];
+  for (Entry& entry : bucket) {
+    if (entry.devices == devices) {
+      entry.result = result;
+      return;
+    }
+  }
+  if (!bucket.empty()) ++collisions_;
+  bucket.push_back(Entry{devices, result});
+  ++size_;
+}
+
+}  // namespace eagle::core

@@ -1,0 +1,50 @@
+// Evaluation cache for PlacementEnvironment.
+//
+// Keyed by the placement's 64-bit content hash, but — unlike the plain
+// unordered_map it replaces — each hit verifies the full device vector,
+// so a hash collision can never silently return another placement's
+// EvalResult (it just becomes a second entry in the bucket).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/measurement.h"
+#include "sim/placement.h"
+
+namespace eagle::core {
+
+class EvalCache {
+ public:
+  // Returns the cached result for exactly this placement, or nullptr.
+  const sim::EvalResult* Find(const sim::Placement& placement) const {
+    return FindByHash(placement.Hash(), placement.devices());
+  }
+
+  void Insert(const sim::Placement& placement, const sim::EvalResult& result) {
+    InsertByHash(placement.Hash(), placement.devices(), result);
+  }
+
+  // Hash-explicit variants, exposed so tests can force collisions
+  // without hunting for real 64-bit hash collisions.
+  const sim::EvalResult* FindByHash(
+      std::uint64_t hash, const std::vector<sim::DeviceId>& devices) const;
+  void InsertByHash(std::uint64_t hash,
+                    const std::vector<sim::DeviceId>& devices,
+                    const sim::EvalResult& result);
+
+  int size() const { return size_; }
+  int collisions() const { return collisions_; }
+
+ private:
+  struct Entry {
+    std::vector<sim::DeviceId> devices;
+    sim::EvalResult result;
+  };
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+  int size_ = 0;
+  int collisions_ = 0;  // inserts that shared a hash with different devices
+};
+
+}  // namespace eagle::core

@@ -1,6 +1,10 @@
 #include "nn/adam.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "support/check.h"
 
 namespace eagle::nn {
 
@@ -38,6 +42,60 @@ double Adam::Step() {
   }
   store_->ZeroGrads();
   return norm;
+}
+
+void Adam::SaveState(std::ostream& out) const {
+  out.write(reinterpret_cast<const char*>(&t_), sizeof(t_));
+  const auto count = static_cast<std::uint32_t>(store_->params().size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : store_->params()) {
+    const auto name_len = static_cast<std::uint32_t>(p->name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p->name.data(), name_len);
+    const auto it = slots_.find(p.get());
+    const std::uint8_t has_slot =
+        it != slots_.end() && !it->second.m.empty() ? 1 : 0;
+    out.write(reinterpret_cast<const char*>(&has_slot), sizeof(has_slot));
+    if (has_slot != 0) {
+      const Slot& slot = it->second;
+      const auto n = static_cast<std::streamsize>(p->value.size() *
+                                                  sizeof(float));
+      out.write(reinterpret_cast<const char*>(slot.m.data()), n);
+      out.write(reinterpret_cast<const char*>(slot.v.data()), n);
+    }
+  }
+}
+
+void Adam::LoadState(std::istream& in) {
+  in.read(reinterpret_cast<char*>(&t_), sizeof(t_));
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  EAGLE_CHECK_MSG(in, "truncated optimizer state");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    EAGLE_CHECK_MSG(in && name_len < (1u << 16), "corrupt optimizer state");
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    std::uint8_t has_slot = 0;
+    in.read(reinterpret_cast<char*>(&has_slot), sizeof(has_slot));
+    EAGLE_CHECK_MSG(in, "truncated optimizer state");
+    Parameter* p = store_->Find(name);
+    EAGLE_CHECK_MSG(p != nullptr,
+                    "optimizer state for unknown parameter " << name);
+    if (has_slot == 0) {
+      slots_.erase(p);
+      continue;
+    }
+    Slot& slot = slots_[p];
+    slot.m = Tensor(p->value.rows(), p->value.cols());
+    slot.v = Tensor(p->value.rows(), p->value.cols());
+    const auto n =
+        static_cast<std::streamsize>(p->value.size() * sizeof(float));
+    in.read(reinterpret_cast<char*>(slot.m.data()), n);
+    in.read(reinterpret_cast<char*>(slot.v.data()), n);
+    EAGLE_CHECK_MSG(in, "truncated optimizer state");
+  }
 }
 
 }  // namespace eagle::nn

@@ -4,6 +4,7 @@
 // 1.0 (§IV-C) — those are the defaults here.
 #pragma once
 
+#include <iosfwd>
 #include <unordered_map>
 
 #include "nn/layers.h"
@@ -29,6 +30,12 @@ class Adam {
   std::int64_t step_count() const { return t_; }
   const AdamOptions& options() const { return options_; }
   void set_lr(double lr) { options_.lr = lr; }
+
+  // Serializes / restores the step count and per-parameter moment slots
+  // (matched by parameter name) so training checkpoints resume
+  // bit-compatibly. The store must contain the same parameters.
+  void SaveState(std::ostream& out) const;
+  void LoadState(std::istream& in);
 
  private:
   struct Slot {

@@ -13,12 +13,7 @@ namespace {
 constexpr char kMagic[8] = {'E', 'A', 'G', 'L', 'N', 'N', '1', '\0'};
 }
 
-bool SaveParams(const ParamStore& store, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    EAGLE_LOG(Warn) << "cannot open " << path << " for writing";
-    return false;
-  }
+void SaveParams(const ParamStore& store, std::ostream& out) {
   out.write(kMagic, sizeof(kMagic));
   const auto count = static_cast<std::uint32_t>(store.params().size());
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
@@ -33,16 +28,23 @@ bool SaveParams(const ParamStore& store, const std::string& path) {
     out.write(reinterpret_cast<const char*>(p->value.data()),
               static_cast<std::streamsize>(p->value.size() * sizeof(float)));
   }
+}
+
+bool SaveParams(const ParamStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    EAGLE_LOG(Warn) << "cannot open " << path << " for writing";
+    return false;
+  }
+  SaveParams(store, out);
   return static_cast<bool>(out);
 }
 
-int LoadParams(ParamStore& store, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  EAGLE_CHECK_MSG(in, "cannot open checkpoint " << path);
+int LoadParams(ParamStore& store, std::istream& in) {
   char magic[8];
   in.read(magic, sizeof(magic));
   EAGLE_CHECK_MSG(in && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-                  "bad checkpoint magic in " << path);
+                  "bad checkpoint magic");
   std::uint32_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
   int restored = 0;
@@ -60,7 +62,7 @@ int LoadParams(ParamStore& store, const std::string& path) {
                             static_cast<std::size_t>(cols));
     in.read(reinterpret_cast<char*>(data.data()),
             static_cast<std::streamsize>(data.size() * sizeof(float)));
-    EAGLE_CHECK_MSG(in, "truncated checkpoint " << path);
+    EAGLE_CHECK_MSG(in, "truncated checkpoint");
     Parameter* p = store.Find(name);
     if (p == nullptr) {
       EAGLE_LOG(Warn) << "checkpoint param " << name << " not in store";
@@ -72,6 +74,12 @@ int LoadParams(ParamStore& store, const std::string& path) {
     ++restored;
   }
   return restored;
+}
+
+int LoadParams(ParamStore& store, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EAGLE_CHECK_MSG(in, "cannot open checkpoint " << path);
+  return LoadParams(store, in);
 }
 
 }  // namespace eagle::nn

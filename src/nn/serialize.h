@@ -5,6 +5,7 @@
 //     u32 name_len | name bytes | i32 rows | i32 cols | f32 data…
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "nn/layers.h"
@@ -17,5 +18,10 @@ bool SaveParams(const ParamStore& store, const std::string& path);
 // match). Returns the number of parameters restored; throws on corrupt
 // files or shape mismatches.
 int LoadParams(ParamStore& store, const std::string& path);
+
+// Stream variants, used to embed a parameter section inside composite
+// files (the trainer's crash-safe checkpoints).
+void SaveParams(const ParamStore& store, std::ostream& out);
+int LoadParams(ParamStore& store, std::istream& in);
 
 }  // namespace eagle::nn

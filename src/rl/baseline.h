@@ -19,6 +19,12 @@ class EmaBaseline {
   double value() const { return value_; }
   bool initialized() const { return initialized_; }
 
+  // Restores a checkpointed baseline (crash-safe training resume).
+  void set_state(double value, bool initialized) {
+    value_ = value;
+    initialized_ = initialized;
+  }
+
  private:
   double decay_;
   double value_ = 0.0;

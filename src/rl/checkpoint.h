@@ -1,0 +1,53 @@
+// Crash-safe checkpointing for the RL training loop.
+//
+// A checkpoint captures everything TrainAgent needs to resume a run
+// bit-compatibly after a crash or kill: agent parameters (nn/serialize
+// format), Adam moment slots, the EMA baseline, the trainer's RNG state,
+// the virtual clock and full progress history, the CE elite pool, and an
+// opaque environment-state blob (Environment::SerializeState — the fault
+// stream and robustness counters for PlacementEnvironment).
+//
+// Files are written atomically: the checkpoint is serialized to
+// `<path>.tmp` and renamed over `<path>` only once complete, so a crash
+// mid-write can never corrupt the previous good checkpoint.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/adam.h"
+#include "rl/episode.h"
+#include "rl/trainer.h"
+
+namespace eagle::rl {
+
+// Trainer-loop state stored alongside the parameter/optimizer sections.
+struct CheckpointData {
+  TrainResult result;                          // progress so far
+  std::array<std::uint64_t, 4> rng_state{};    // trainer's sampling stream
+  double baseline_value = 0.0;                 // EMA baseline
+  bool baseline_initialized = false;
+  std::vector<Sample> pool;                    // CE elite pool (PPO+CE)
+  std::vector<Sample> batch;                   // in-flight minibatch
+  int since_ce = 0;
+  std::string env_state;                       // Environment::SerializeState
+  std::string critic_state;                    // ValueBaseline (optional)
+};
+
+// Serializes params + optimizer + data to `path` via atomic rename.
+// Returns false (after logging) on I/O failure.
+bool SaveCheckpoint(const std::string& path, const nn::ParamStore& params,
+                    const nn::Adam& optimizer, const CheckpointData& data);
+
+// Restores a checkpoint written by SaveCheckpoint. Returns false if the
+// file does not exist; throws on corrupt or mismatched contents.
+bool LoadCheckpoint(const std::string& path, nn::ParamStore& params,
+                    nn::Adam& optimizer, CheckpointData* data);
+
+// The checkpoint file TrainAgent uses for `options.checkpoint_dir`.
+std::string CheckpointFilePath(const std::string& dir,
+                               const std::string& name);
+
+}  // namespace eagle::rl

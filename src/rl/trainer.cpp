@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <memory>
+#include <sstream>
 
 #include "nn/serialize.h"
+#include "rl/checkpoint.h"
 #include "support/check.h"
 #include "support/log.h"
 
@@ -37,6 +39,62 @@ TrainResult TrainAgent(PolicyAgent& agent, Environment& environment,
   std::vector<Sample> batch;
   batch.reserve(static_cast<std::size_t>(options.minibatch_size));
   int since_ce = 0;
+
+  // Crash-safe checkpointing: full trainer state snapshotted to an
+  // atomically-renamed file, restored bit-compatibly with resume=true.
+  const std::string snapshot_path =
+      options.checkpoint_dir.empty()
+          ? std::string()
+          : CheckpointFilePath(options.checkpoint_dir,
+                               options.checkpoint_name);
+  int last_snapshot_sample = -1;
+  const auto save_snapshot = [&]() {
+    if (snapshot_path.empty()) return;
+    CheckpointData data;
+    data.result = result;
+    data.rng_state = rng.state();
+    data.baseline_value = baseline.value();
+    data.baseline_initialized = baseline.initialized();
+    data.pool = pool;
+    data.batch = batch;
+    data.since_ce = since_ce;
+    std::ostringstream env_blob;
+    environment.SerializeState(env_blob);
+    data.env_state = env_blob.str();
+    if (critic != nullptr) {
+      std::ostringstream critic_blob;
+      critic->SaveState(critic_blob);
+      data.critic_state = critic_blob.str();
+    }
+    if (SaveCheckpoint(snapshot_path, agent.params(), optimizer, data)) {
+      last_snapshot_sample = result.total_samples;
+    }
+  };
+  if (options.resume && !snapshot_path.empty()) {
+    CheckpointData data;
+    if (LoadCheckpoint(snapshot_path, agent.params(), optimizer, &data)) {
+      rng.set_state(data.rng_state);
+      baseline.set_state(data.baseline_value, data.baseline_initialized);
+      result = std::move(data.result);
+      pool = std::move(data.pool);
+      batch = std::move(data.batch);
+      since_ce = data.since_ce;
+      if (!data.env_state.empty()) {
+        std::istringstream env_blob(data.env_state);
+        environment.DeserializeState(env_blob);
+      }
+      if (critic != nullptr && !data.critic_state.empty()) {
+        std::istringstream critic_blob(data.critic_state);
+        critic->LoadState(critic_blob);
+      }
+      last_snapshot_sample = result.total_samples;
+      EAGLE_LOG(Info) << agent.name() << ": resumed from " << snapshot_path
+                      << " at sample " << result.total_samples;
+    } else {
+      EAGLE_LOG(Info) << agent.name() << ": no checkpoint at "
+                      << snapshot_path << ", starting fresh";
+    }
+  }
 
   while (result.total_samples < options.total_samples) {
     if (options.max_virtual_hours > 0.0 &&
@@ -106,8 +164,14 @@ TrainResult TrainAgent(PolicyAgent& agent, Environment& environment,
         }
       }
       batch.clear();
+      if (options.checkpoint_interval > 0 &&
+          result.total_samples - last_snapshot_sample >=
+              options.checkpoint_interval) {
+        save_snapshot();
+      }
     }
   }
+  if (result.total_samples != last_snapshot_sample) save_snapshot();
   return result;
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <limits>
 #include <string>
 #include <vector>
@@ -34,6 +35,11 @@ class Environment {
                                    support::Rng* rng) = 0;
   // Penalty per-step time charged to invalid placements.
   virtual double InvalidPenaltySeconds() const = 0;
+  // Mutable environment state (fault stream, counters) captured into /
+  // restored from training checkpoints so a resumed run replays
+  // bit-compatibly. Stateless environments can keep the no-op default.
+  virtual void SerializeState(std::ostream& out) const { (void)out; }
+  virtual void DeserializeState(std::istream& in) { (void)in; }
 };
 
 enum class Algorithm { kReinforce, kPpo, kPpoCe };
@@ -64,6 +70,19 @@ struct TrainerOptions {
   // When set, the agent's parameters are checkpointed here every time a
   // new best placement is found (resumable with nn::LoadParams).
   std::string checkpoint_path;
+  // Crash-safe training checkpoints (rl/checkpoint.h): when
+  // checkpoint_dir is set, the full trainer state (agent parameters,
+  // optimizer slots, EMA baseline, RNG, virtual clock, history, CE pool,
+  // environment fault stream) is snapshotted to
+  // <checkpoint_dir>/<checkpoint_name>.ckpt — atomically renamed — every
+  // checkpoint_interval samples (aligned to minibatch boundaries) and
+  // once more when the run ends. With resume=true, TrainAgent first
+  // restores the latest checkpoint and continues the run bit-compatibly:
+  // a killed-and-resumed run reproduces the uninterrupted one exactly.
+  std::string checkpoint_dir;
+  std::string checkpoint_name = "trainer";
+  int checkpoint_interval = 50;
+  bool resume = false;
 };
 
 struct HistoryPoint {

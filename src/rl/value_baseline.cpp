@@ -1,5 +1,6 @@
 #include "rl/value_baseline.h"
 
+#include "nn/serialize.h"
 #include "support/check.h"
 
 namespace eagle::rl {
@@ -62,6 +63,16 @@ double ValueBaseline::Update(const std::vector<Sample>& batch) {
     optimizer_.Step();
   }
   return first_mse;
+}
+
+void ValueBaseline::SaveState(std::ostream& out) const {
+  nn::SaveParams(store_, out);
+  optimizer_.SaveState(out);
+}
+
+void ValueBaseline::LoadState(std::istream& in) {
+  nn::LoadParams(store_, in);
+  optimizer_.LoadState(in);
 }
 
 }  // namespace eagle::rl

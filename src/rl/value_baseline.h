@@ -11,6 +11,7 @@
 // the EMA baseline, which is exactly the paper's observation.
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "nn/adam.h"
@@ -38,6 +39,11 @@ class ValueBaseline {
   double Update(const std::vector<Sample>& batch);
 
   int num_devices() const { return num_devices_; }
+
+  // Critic parameters + optimizer slots, embedded in training
+  // checkpoints so resumed runs continue bit-compatibly.
+  void SaveState(std::ostream& out) const;
+  void LoadState(std::istream& in);
 
  private:
   nn::Tensor Featurize(const Sample& sample) const;

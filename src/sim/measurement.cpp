@@ -8,9 +8,15 @@
 
 namespace eagle::sim {
 
+double NoiseFactor(double noise_stddev, support::Rng& rng) {
+  return std::clamp(1.0 + noise_stddev * rng.NextGaussian(), 0.5, 2.0);
+}
+
 std::string EvalResult::ToString() const {
   std::ostringstream os;
-  if (!valid) {
+  if (failed) {
+    os << "FAILED (" << attempts << " attempts)";
+  } else if (!valid) {
     os << "INVALID (OOM)";
   } else {
     os << per_step_seconds << " s/step";
@@ -26,12 +32,14 @@ MeasurementSession::MeasurementSession(const graph::OpGraph& graph,
     : simulator_(graph, cluster, sim_options), options_(options) {
   EAGLE_CHECK(options_.total_steps > options_.warmup_steps);
   EAGLE_CHECK(options_.warmup_steps >= 0);
+  EAGLE_CHECK(options_.noise_stddev >= 0.0);
 }
 
-EvalResult MeasurementSession::Evaluate(const Placement& placement,
-                                        support::Rng* rng) const {
+EvalResult MeasurementSession::Measure(const Placement& placement,
+                                       const FaultDraw* faults,
+                                       support::Rng* rng) const {
   EvalResult result;
-  const StepResult step = simulator_.Run(placement);
+  const StepResult step = simulator_.Run(placement, faults);
   result.step = step;
 
   if (step.oom) {
@@ -46,14 +54,15 @@ EvalResult MeasurementSession::Evaluate(const Placement& placement,
   result.true_per_step_seconds = step.step_seconds;
 
   // Warm-up: the first step additionally places every parameter tensor.
-  const double warmup_extra = simulator_.ParamTransferSeconds(placement);
+  const double warmup_extra =
+      simulator_.ParamTransferSeconds(placement, faults);
   const int measured = options_.total_steps - options_.warmup_steps;
 
   double sum = 0.0;
   for (int i = 0; i < measured; ++i) {
     double s = step.step_seconds;
     if (rng != nullptr && options_.noise_stddev > 0.0) {
-      s *= std::max(0.5, 1.0 + options_.noise_stddev * rng->NextGaussian());
+      s *= NoiseFactor(options_.noise_stddev, *rng);
     }
     sum += s;
   }
@@ -61,6 +70,29 @@ EvalResult MeasurementSession::Evaluate(const Placement& placement,
   result.measurement_cost_seconds =
       options_.session_overhead_seconds + warmup_extra +
       options_.total_steps * step.step_seconds;
+  return result;
+}
+
+EvalResult MeasurementSession::Evaluate(const Placement& placement,
+                                        support::Rng* rng) const {
+  return Measure(placement, nullptr, rng);
+}
+
+EvalResult MeasurementSession::EvaluateWithFaults(const Placement& placement,
+                                                  const FaultDraw& faults,
+                                                  support::Rng* rng) const {
+  if (faults.session_crash || faults.HitsDownDevice(placement)) {
+    // The session dies during setup / on first contact with the dead
+    // device; the attempt still consumed the setup time.
+    EvalResult result;
+    result.failed = true;
+    result.measurement_cost_seconds = options_.session_overhead_seconds;
+    return result;
+  }
+  EvalResult result = Measure(placement, &faults, rng);
+  // The degraded machine's number is what the agent observes; the healthy
+  // time is the caller's to fill from a fault-free evaluation.
+  result.true_per_step_seconds = 0.0;
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault.h"
 #include "sim/simulator.h"
 #include "support/rng.h"
 
@@ -32,8 +33,18 @@ struct MeasurementOptions {
   double noise_stddev = 0.01;
 };
 
+// Multiplicative measurement-noise factor. Clamped to [0.5, 2.0] so no
+// noise_stddev can yield a non-positive (or absurd) per-step time — a
+// real harness would reject such a reading as a failed measurement.
+double NoiseFactor(double noise_stddev, support::Rng& rng);
+
 struct EvalResult {
   bool valid = false;              // false == OOM (invalid placement)
+  // True when the measurement never produced a number (session crash,
+  // device down, or timeout on every retry). `valid` is false too; the
+  // environment charges the invalid-placement penalty.
+  bool failed = false;
+  int attempts = 1;                // measurement attempts consumed
   double per_step_seconds = 0.0;   // average over measured steps (noisy)
   double true_per_step_seconds = 0.0;  // noiseless, for final reporting
   double measurement_cost_seconds = 0.0;  // virtual wall-clock consumed
@@ -53,10 +64,23 @@ class MeasurementSession {
   EvalResult Evaluate(const Placement& placement,
                       support::Rng* rng = nullptr) const;
 
+  // One measurement attempt under injected faults. A session crash or a
+  // placement touching a down device returns failed=true after charging
+  // the session setup; perf faults (stragglers, degraded links) complete
+  // with degraded measured/cost times. true_per_step_seconds is NOT
+  // filled here (it is the healthy machine's number — the environment
+  // supplies it from the fault-free evaluation).
+  EvalResult EvaluateWithFaults(const Placement& placement,
+                                const FaultDraw& faults,
+                                support::Rng* rng = nullptr) const;
+
   const ExecutionSimulator& simulator() const { return simulator_; }
   const MeasurementOptions& options() const { return options_; }
 
  private:
+  EvalResult Measure(const Placement& placement, const FaultDraw* faults,
+                     support::Rng* rng) const;
+
   ExecutionSimulator simulator_;
   MeasurementOptions options_;
 };

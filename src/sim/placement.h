@@ -24,6 +24,15 @@ class Placement {
   static Placement AllOnDevice(const graph::OpGraph& graph,
                                const ClusterSpec& cluster, DeviceId device);
 
+  // Rebuilds a placement from a raw device vector without constraint
+  // checks — for deserializing already-normalized placements from
+  // checkpoints.
+  static Placement FromRaw(std::vector<DeviceId> devices) {
+    Placement placement;
+    placement.devices_ = std::move(devices);
+    return placement;
+  }
+
   int num_ops() const { return static_cast<int>(devices_.size()); }
   DeviceId device(graph::OpId op) const;
   const std::vector<DeviceId>& devices() const { return devices_; }

@@ -77,11 +77,23 @@ ExecutionSimulator::ExecutionSimulator(const graph::OpGraph& graph,
   }
 }
 
-StepResult ExecutionSimulator::Run(const Placement& placement) const {
+StepResult ExecutionSimulator::Run(const Placement& placement,
+                                   const FaultDraw* faults) const {
   const graph::OpGraph& g = *graph_;
   const int num_ops = g.num_ops();
   const int num_devices = cluster_->num_devices();
   EAGLE_CHECK(placement.num_ops() == num_ops);
+  const auto compute_scale = [faults](DeviceId d) {
+    return faults == nullptr
+               ? 1.0
+               : faults->device_compute_scale[static_cast<std::size_t>(d)];
+  };
+  const auto link_scale = [this, faults](DeviceId src, DeviceId dst) {
+    return faults == nullptr
+               ? 1.0
+               : faults->link_scale[static_cast<std::size_t>(
+                     cluster_->link_channel(src, dst))];
+  };
 
   StepResult result;
   result.device_busy_seconds.assign(static_cast<std::size_t>(num_devices), 0.0);
@@ -181,7 +193,8 @@ StepResult ExecutionSimulator::Run(const Placement& placement) const {
     ++scheduled;
 
     const double start = best_start;
-    const double compute = cost_model_.ComputeSeconds(g.op(u), best_dev);
+    const double compute =
+        cost_model_.ComputeSeconds(g.op(u), best_dev) * compute_scale(best_dev);
     const double finish = start + compute;
     finish_time[static_cast<std::size_t>(u)] = finish;
     device_free[static_cast<std::size_t>(best_dev)] = finish;
@@ -207,8 +220,9 @@ StepResult ExecutionSimulator::Run(const Placement& placement) const {
           auto& lf = link_free[static_cast<std::size_t>(
               cluster_->link_channel(best_dev, dst_dev))];
           const double xfer_start = std::max(finish, lf);
-          const double xfer = cost_model_.TransferSeconds(best_dev, dst_dev,
-                                                          e.bytes);
+          const double xfer =
+              cost_model_.TransferSeconds(best_dev, dst_dev, e.bytes) *
+              link_scale(best_dev, dst_dev);
           arrival = xfer_start + xfer;
           lf = arrival;
           transfer_cache.emplace(key, arrival);
@@ -272,14 +286,19 @@ StepResult ExecutionSimulator::Run(const Placement& placement) const {
 }
 
 double ExecutionSimulator::ParamTransferSeconds(
-    const Placement& placement) const {
+    const Placement& placement, const FaultDraw* faults) const {
   const DeviceId cpu = cluster_->FirstCpu();
   double total = 0.0;
   for (graph::OpId i = 0; i < graph_->num_ops(); ++i) {
     const auto& op = graph_->op(i);
     if (op.param_bytes > 0) {
-      total += cost_model_.TransferSeconds(cpu, placement.device(i),
-                                           op.param_bytes);
+      double scale = 1.0;
+      if (faults != nullptr && placement.device(i) != cpu) {
+        scale = faults->link_scale[static_cast<std::size_t>(
+            cluster_->link_channel(cpu, placement.device(i)))];
+      }
+      total += scale * cost_model_.TransferSeconds(cpu, placement.device(i),
+                                                   op.param_bytes);
     }
   }
   return total;

@@ -24,6 +24,7 @@
 #include "graph/op_graph.h"
 #include "sim/cost_model.h"
 #include "sim/device.h"
+#include "sim/fault.h"
 #include "sim/memory_model.h"
 #include "sim/placement.h"
 
@@ -80,12 +81,17 @@ class ExecutionSimulator {
                      SimulatorOptions options = {});
 
   // Simulates one steady-state training step under `placement` (which must
-  // already be normalized). Deterministic.
-  StepResult Run(const Placement& placement) const;
+  // already be normalized). Deterministic. When `faults` is given, device
+  // compute times are scaled by its per-device straggler factors and
+  // transfer times by its per-channel link degradation (hard faults —
+  // crash / device-down — are handled by the measurement layer, not here).
+  StepResult Run(const Placement& placement,
+                 const FaultDraw* faults = nullptr) const;
 
   // Seconds to ship every parameter tensor from host to its device — the
   // warm-up cost the measurement protocol pays on the first step.
-  double ParamTransferSeconds(const Placement& placement) const;
+  double ParamTransferSeconds(const Placement& placement,
+                              const FaultDraw* faults = nullptr) const;
 
   const graph::OpGraph& graph() const { return *graph_; }
   const ClusterSpec& cluster() const { return *cluster_; }

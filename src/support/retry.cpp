@@ -1,0 +1,29 @@
+#include "support/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace eagle::support {
+
+void RetryPolicy::Validate() const {
+  EAGLE_CHECK(max_attempts >= 1);
+  EAGLE_CHECK(initial_backoff_seconds >= 0.0);
+  EAGLE_CHECK(backoff_multiplier >= 1.0);
+  EAGLE_CHECK(max_backoff_seconds >= initial_backoff_seconds);
+  EAGLE_CHECK(jitter_fraction >= 0.0 && jitter_fraction <= 1.0);
+}
+
+double RetryPolicy::BackoffSeconds(int failures, Rng* rng) const {
+  EAGLE_CHECK(failures >= 1);
+  double backoff = initial_backoff_seconds *
+                   std::pow(backoff_multiplier, failures - 1);
+  backoff = std::min(backoff, max_backoff_seconds);
+  if (rng != nullptr && jitter_fraction > 0.0) {
+    backoff *= 1.0 + rng->NextUniform(-jitter_fraction, jitter_fraction);
+  }
+  return backoff;
+}
+
+}  // namespace eagle::support

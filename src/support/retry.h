@@ -1,0 +1,35 @@
+// Retry policy with exponential backoff and jitter.
+//
+// Used by the measurement environment: a failed placement evaluation
+// (session crash, device down, timeout) is retried up to max_attempts
+// times, waiting initial_backoff × multiplier^k (± jitter, capped) between
+// attempts. In the simulated environment the waits charge the *virtual*
+// clock — exactly as a real harness would burn wall-clock time —
+// so training curves priced in simulated hours stay honest under faults.
+#pragma once
+
+#include "support/rng.h"
+
+namespace eagle::support {
+
+struct RetryPolicy {
+  int max_attempts = 3;
+  double initial_backoff_seconds = 5.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 120.0;
+  // Uniform jitter: the backoff is scaled by 1 ± U(0, jitter_fraction).
+  // Zero keeps backoffs exact (tests rely on this).
+  double jitter_fraction = 0.25;
+  // An attempt whose measurement would take longer than this is killed
+  // and counted as a failure (<= 0 disables the timeout). Catches
+  // pathological stragglers that would otherwise stall training.
+  double attempt_timeout_seconds = 0.0;
+
+  // Wait before retry number `failures` (1-based count of failures so
+  // far). `rng` drives jitter; nullptr disables it.
+  double BackoffSeconds(int failures, Rng* rng = nullptr) const;
+
+  void Validate() const;
+};
+
+}  // namespace eagle::support

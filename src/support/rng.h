@@ -6,6 +6,7 @@
 // tests regenerate identical tables for a given --seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -94,6 +95,15 @@ class Rng {
 
   // Derive an independent child stream (for per-component seeding).
   Rng Split() { return Rng(NextU64()); }
+
+  // Raw generator state, for crash-safe checkpoint/resume: restoring the
+  // state continues the stream bit-compatibly.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = state[i];
+  }
 
  private:
   static std::uint64_t Rotl(std::uint64_t x, int k) {

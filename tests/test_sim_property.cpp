@@ -113,6 +113,30 @@ TEST_P(SimulatorProperty, NormalizeIdempotent) {
   EXPECT_EQ(placement.Hash(), before);
 }
 
+TEST_P(SimulatorProperty, MeasurementCostIsExactlySessionPlusSteps) {
+  // The virtual clock charges exactly: session setup + first-step
+  // parameter placement + total_steps × per-step time (warm-up steps
+  // included — they run, they just aren't averaged).
+  MeasurementOptions options;
+  MeasurementSession session(graph_, cluster_, options);
+  for (std::uint64_t s = 8; s <= 10; ++s) {
+    const auto placement = RandomPlacement(s);
+    const auto eval = session.Evaluate(placement);
+    if (eval.valid) {
+      const double expected =
+          options.session_overhead_seconds +
+          session.simulator().ParamTransferSeconds(placement) +
+          options.total_steps * eval.true_per_step_seconds;
+      EXPECT_NEAR(eval.measurement_cost_seconds, expected,
+                  expected * 1e-12);
+    } else {
+      // OOM still burns the session setup before the framework aborts.
+      EXPECT_DOUBLE_EQ(eval.measurement_cost_seconds,
+                       options.session_overhead_seconds);
+    }
+  }
+}
+
 TEST_P(SimulatorProperty, MeasurementCostExceedsOverhead) {
   MeasurementOptions options;
   MeasurementSession session(graph_, cluster_, options);

@@ -15,6 +15,7 @@
 #include "graph/grouped_graph.h"
 #include "models/zoo.h"
 #include "partition/metis_like.h"
+#include "sim/fault.h"
 #include "sim/trace.h"
 #include "support/args.h"
 #include "support/rng.h"
@@ -78,6 +79,9 @@ int main(int argc, char** argv) {
                  "single | expert | balanced | random");
   args.AddString("out", "placement.trace.json", "trace output path");
   args.AddInt("seed", 1, "RNG seed for the random/balanced policies");
+  args.AddString("faults", "",
+                 "inject one fault draw into the traced step, e.g. "
+                 "straggler=0.5,slowdown=4,link=0.3 (seed=N picks the draw)");
   if (!args.Parse(argc, argv)) return 0;
 
   const auto benchmark = models::BenchmarkFromName(args.GetString("model"));
@@ -87,10 +91,29 @@ int main(int argc, char** argv) {
       args.GetString("policy"), benchmark, graph, cluster,
       static_cast<std::uint64_t>(args.GetInt("seed")));
 
+  // Optional fault injection: one deterministic draw (the profile's seed
+  // picks which) so slowed devices / degraded links show up directly in
+  // the exported timeline.
+  const auto fault_profile =
+      sim::FaultProfileFromString(args.GetString("faults"));
+  sim::FaultDraw draw;
+  if (fault_profile.enabled()) {
+    sim::FaultInjector injector(fault_profile, cluster);
+    support::Rng fault_rng(fault_profile.seed);
+    draw = injector.Draw(fault_rng);
+    std::printf("faults: %s\n", draw.ToString(cluster).c_str());
+    if (draw.session_crash || draw.HitsDownDevice(placement)) {
+      std::printf(
+          "this draw would fail the measurement attempt (crash or "
+          "down device); tracing the degraded schedule anyway\n");
+    }
+  }
+
   sim::SimulatorOptions options;
   options.record_schedule = true;
   sim::ExecutionSimulator simulator(graph, cluster, options);
-  const auto result = simulator.Run(placement);
+  const auto result = simulator.Run(
+      placement, fault_profile.enabled() ? &draw : nullptr);
   std::printf("%s\n", result.ToString(cluster).c_str());
   if (result.oom) return 1;
 
