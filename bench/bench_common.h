@@ -10,15 +10,21 @@
 //   --full          paper-scale agent dimensions (256 groups, 512 LSTM)
 //   --models=a,b    subset of inception_v3,gnmt,bert
 //   --csv=prefix    also write <prefix><name>.csv next to stdout output
+//   --threads=N     evaluation threads (core::EvalService); results are
+//                   bit-identical at any thread count
 #pragma once
 
+#include <cmath>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/eagle_agent.h"
 #include "core/env.h"
+#include "core/eval_service.h"
 #include "core/expert_policies.h"
 #include "core/post_agent.h"
 #include "models/zoo.h"
@@ -36,6 +42,9 @@ struct BenchConfig {
   int samples = 250;
   std::uint64_t seed = 7;
   bool full = false;
+  // Evaluation threads per training run (core::EvalService). Changing
+  // this changes wall-clock time only, never results.
+  int threads = 1;
   std::vector<models::Benchmark> benchmarks;
   std::string csv_prefix;
   // Fault-injected measurement (sim::FaultProfileFromString syntax;
@@ -59,6 +68,9 @@ inline void AddCommonFlags(support::ArgParser& args, int default_samples) {
   args.AddString("models", "inception_v3,gnmt,bert",
                  "comma-separated benchmark subset");
   args.AddString("csv", "", "CSV output path prefix (empty: no CSV)");
+  args.AddInt("threads", 1,
+              "evaluation threads (0: hardware count; results are "
+              "bit-identical at any thread count)");
   args.AddBool("verbose", false, "log progress per minibatch");
   args.AddString("faults", "",
                  "fault profile, e.g. 0.1 or crash=0.1,down=0.02,"
@@ -75,6 +87,10 @@ inline BenchConfig ReadCommonFlags(const support::ArgParser& args) {
   config.seed = static_cast<std::uint64_t>(args.GetInt("seed"));
   config.full = args.GetBool("full");
   config.csv_prefix = args.GetString("csv");
+  config.threads = static_cast<int>(args.GetInt("threads"));
+  if (config.threads <= 0) {
+    config.threads = support::ThreadPool::HardwareThreads();
+  }
   config.faults = sim::FaultProfileFromString(args.GetString("faults"));
   config.checkpoint_dir = args.GetString("checkpoint-dir");
   config.resume = args.GetBool("resume");
@@ -152,6 +168,8 @@ inline rl::TrainResult TrainOnBenchmark(
         agent.name() + "_" + rl::AlgorithmName(algorithm);
     options.resume = config.resume;
   }
+  core::EvalService service(*context.env, config.threads);
+  options.evaluator = &service;
   auto result = rl::TrainAgent(agent, *context.env, options, on_progress);
   EAGLE_LOG(Info) << models::BenchmarkName(context.benchmark) << " / "
                   << agent.name() << " / " << rl::AlgorithmName(algorithm)
@@ -213,6 +231,67 @@ inline void MaybeWriteCsv(const support::Table& table,
   if (!config.csv_prefix.empty()) {
     table.WriteCsv(config.csv_prefix + name + ".csv");
   }
+}
+
+// Training-history export. Invalid samples carry an infinity sentinel in
+// per_step_seconds; JSON has no Infinity literal and CSV consumers choke
+// on "inf", so those cells serialize as `null` / an empty field.
+
+inline std::string HistoryToJson(const std::vector<rl::HistoryPoint>& history) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const rl::HistoryPoint& point = history[i];
+    if (i) os << ",";
+    os << "\n  {\"sample\": " << point.sample_index
+       << ", \"sim_hours\": " << point.virtual_hours
+       << ", \"per_step_s\": ";
+    if (std::isfinite(point.per_step_seconds)) {
+      os << point.per_step_seconds;
+    } else {
+      os << "null";
+    }
+    os << ", \"best_per_step_s\": ";
+    if (std::isfinite(point.best_so_far_seconds)) {
+      os << point.best_so_far_seconds;
+    } else {
+      os << "null";
+    }
+    os << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+inline bool WriteHistoryJson(const std::string& path,
+                             const std::vector<rl::HistoryPoint>& history) {
+  std::ofstream out(path);
+  if (!out) {
+    EAGLE_LOG(Warn) << "cannot write history JSON to " << path;
+    return false;
+  }
+  out << HistoryToJson(history);
+  return static_cast<bool>(out);
+}
+
+inline bool WriteHistoryCsv(const std::string& path,
+                            const std::vector<rl::HistoryPoint>& history) {
+  std::ofstream out(path);
+  if (!out) {
+    EAGLE_LOG(Warn) << "cannot write history CSV to " << path;
+    return false;
+  }
+  out << "sample,sim_hours,per_step_s,best_per_step_s\n";
+  for (const rl::HistoryPoint& point : history) {
+    out << point.sample_index << "," << point.virtual_hours << ",";
+    if (std::isfinite(point.per_step_seconds)) out << point.per_step_seconds;
+    out << ",";
+    if (std::isfinite(point.best_so_far_seconds)) {
+      out << point.best_so_far_seconds;
+    }
+    out << "\n";
+  }
+  return static_cast<bool>(out);
 }
 
 }  // namespace eagle::bench

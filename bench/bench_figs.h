@@ -33,7 +33,7 @@ inline void RunCurves(const std::string& figure_name,
                    "invalid", "sim hours"});
 
   for (const auto& spec : agents) {
-    auto context = MakeContext(benchmark);
+    auto context = MakeContext(benchmark, &config);
     auto agent = spec.make(context, config);
     const auto on_progress = [&](const rl::HistoryPoint& point) {
       if (std::isfinite(point.per_step_seconds)) {
@@ -51,6 +51,16 @@ inline void RunCurves(const std::string& figure_name,
                   support::Table::Num(result.best_found_at_hours, 2),
                   std::to_string(result.invalid_samples),
                   support::Table::Num(result.total_virtual_hours, 2)});
+    if (!config.csv_prefix.empty()) {
+      // Full per-sample history, invalid samples included (as null /
+      // empty-cell sentinels — see WriteHistoryJson).
+      std::string slug = spec.name;
+      for (char& c : slug) c = (c == ' ' || c == '/') ? '_' : c;
+      const std::string base =
+          config.csv_prefix + figure_name + "_" + slug + "_history";
+      WriteHistoryJson(base + ".json", result.history);
+      WriteHistoryCsv(base + ".csv", result.history);
+    }
   }
 
   std::printf("%s — per-step time of the best placement found so far vs "

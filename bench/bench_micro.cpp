@@ -5,6 +5,7 @@
 
 #include "core/eagle_agent.h"
 #include "core/env.h"
+#include "core/eval_service.h"
 #include "models/zoo.h"
 #include "nn/layers.h"
 #include "partition/fluid.h"
@@ -135,6 +136,37 @@ void BM_EnvironmentEvaluate(benchmark::State& state) {
   state.SetLabel(GraphLabel(static_cast<int>(state.range(0))));
 }
 BENCHMARK(BM_EnvironmentEvaluate)->Arg(0)->Arg(1)->Arg(2);
+
+// Thread-scaling sweep for the parallel evaluation service: one GNMT
+// minibatch of 10 distinct placements per iteration, fanned out over
+// N workers. Results are bit-identical across N (the determinism
+// contract); only wall-clock time should change.
+void BM_EvalServiceBatch(benchmark::State& state) {
+  const auto& graph = BenchmarkGraph(1);  // gnmt: the largest sim graph
+  const auto cluster = sim::MakeDefaultCluster();
+  core::EnvironmentOptions options;
+  options.cache_evaluations = false;
+  core::PlacementEnvironment env(graph, cluster, options);
+  core::EvalService service(env, static_cast<int>(state.range(0)));
+  support::Rng rng(6);
+  auto agent = core::MakeEagleAgent(graph, cluster, core::AgentDims{}, 1);
+  std::vector<sim::Placement> placements;
+  for (int i = 0; i < 10; ++i) {
+    placements.push_back(agent->ToPlacement(agent->SampleDecision(rng)));
+  }
+  for (auto _ : state) {
+    std::vector<support::Rng> rngs;
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+      rngs.push_back(rng.Split(i));
+    }
+    const auto results = service.EvaluateBatch(placements, rngs);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(placements.size()));
+  state.SetLabel("threads=" + std::to_string(service.num_threads()));
+}
+BENCHMARK(BM_EvalServiceBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 

@@ -1,9 +1,22 @@
 #!/usr/bin/env bash
-# Builds the tier-1 test suite with AddressSanitizer + UBSan and runs it.
-# Usage: scripts/run_sanitizers.sh [build-dir]
+# Builds and runs the tier-1 test suite under sanitizers:
+#   1. AddressSanitizer + UBSan (memory errors, UB)
+#   2. ThreadSanitizer (data races in the parallel evaluation service)
+# Usage: scripts/run_sanitizers.sh [asan-build-dir] [tsan-build-dir]
 set -eu
-BUILD=${1:-build-asan}
-cmake -B "$BUILD" -S . -DEAGLE_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD" -j
-(cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
+ASAN_BUILD=${1:-build-asan}
+TSAN_BUILD=${2:-build-tsan}
+
+cmake -B "$ASAN_BUILD" -S . -DEAGLE_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$ASAN_BUILD" -j
+(cd "$ASAN_BUILD" && ctest --output-on-failure -j "$(nproc)")
+echo ASAN_UBSAN_CLEAN
+
+cmake -B "$TSAN_BUILD" -S . -DEAGLE_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_BUILD" -j
+(cd "$TSAN_BUILD" && ctest --output-on-failure -j "$(nproc)")
+echo TSAN_CLEAN
+
 echo SANITIZERS_CLEAN

@@ -23,6 +23,16 @@ void ReadPod(std::istream& in, T& value) {
   EAGLE_CHECK_MSG(in, "truncated environment state");
 }
 
+void WriteCounter(std::ostream& out, const std::atomic<int>& counter) {
+  WritePod(out, counter.load());
+}
+
+void ReadCounter(std::istream& in, std::atomic<int>& counter) {
+  int value = 0;
+  ReadPod(in, value);
+  counter.store(value);
+}
+
 }  // namespace
 
 PlacementEnvironment::PlacementEnvironment(const graph::OpGraph& graph,
@@ -32,7 +42,8 @@ PlacementEnvironment::PlacementEnvironment(const graph::OpGraph& graph,
       cluster_(&cluster),
       options_(options),
       session_(graph, cluster, options.measurement, options.simulator),
-      fault_rng_(options.faults.seed) {
+      fault_rng_(options.faults.seed),
+      cache_(options.eval_cache_capacity) {
   options_.retry.Validate();
   if (options_.faults.enabled()) {
     injector_ = std::make_unique<sim::FaultInjector>(options_.faults, cluster);
@@ -52,47 +63,98 @@ PlacementEnvironment::PlacementEnvironment(const graph::OpGraph& graph,
   EAGLE_CHECK(penalty_seconds_ > 0.0);
 }
 
-sim::EvalResult PlacementEnvironment::EvaluateFaultFree(
-    const sim::Placement& placement, support::Rng* rng) {
-  sim::EvalResult result;
-  const sim::EvalResult* cached =
-      options_.cache_evaluations ? cache_.Find(placement) : nullptr;
-  if (cached != nullptr) {
-    ++cache_hits_;
-    result = *cached;
-  } else {
-    // Cache the *noiseless* result; noise is re-applied per call below so
-    // repeated visits still look like independent measurements.
-    result = session_.Evaluate(placement, nullptr);
-    if (options_.cache_evaluations) cache_.Insert(placement, result);
+bool PlacementEnvironment::PendingContains(
+    std::uint64_t hash, const std::vector<sim::DeviceId>& devices) const {
+  for (const PendingEval& pending : pending_) {
+    if (pending.hash == hash && pending.devices == devices) return true;
   }
-  if (result.valid && rng != nullptr &&
-      options_.measurement.noise_stddev > 0.0) {
-    const int measured =
-        options_.measurement.total_steps - options_.measurement.warmup_steps;
-    double sum = 0.0;
-    for (int i = 0; i < measured; ++i) {
-      sum += result.true_per_step_seconds *
-             sim::NoiseFactor(options_.measurement.noise_stddev, *rng);
+  return false;
+}
+
+EvalTicket PlacementEnvironment::PrepareEvaluation(
+    const sim::Placement& placement) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  EvalTicket ticket;
+  if (injector_ != nullptr) {
+    // One master-stream draw per evaluation, in dispatch order: the
+    // per-sample child then feeds every retry attempt and backoff jitter
+    // of this evaluation, on whichever thread it lands.
+    ticket.fault_rng = fault_rng_.Split();
+  }
+  if (options_.cache_evaluations) {
+    const std::uint64_t hash = placement.Hash();
+    if (cache_.LookupByHash(hash, placement.devices(), &ticket.clean)) {
+      ticket.has_clean = true;
+      ticket.counted_cache_hit = true;
+    } else if (PendingContains(hash, placement.devices())) {
+      // A duplicate of an in-flight evaluation: a serial run would have
+      // found it cached by now, so count the hit (the worker recomputes
+      // the identical noiseless result rather than waiting).
+      ticket.counted_cache_hit = true;
     }
-    result.per_step_seconds = sum / measured;
+    if (ticket.counted_cache_hit) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    pending_.push_back(PendingEval{hash, placement.devices()});
   }
-  return result;
+  return ticket;
+}
+
+EvalOutcome PlacementEnvironment::EvaluateTicket(
+    const sim::Placement& placement, EvalTicket& ticket,
+    support::Rng* rng) const {
+  EvalOutcome outcome;
+  sim::EvalResult clean;
+  if (ticket.has_clean) {
+    clean = ticket.clean;
+  } else {
+    // The *noiseless* result is what gets cached; noise is re-applied
+    // per evaluation below so repeated visits still look like
+    // independent measurements.
+    clean = session_.Evaluate(placement, nullptr);
+    outcome.clean = clean;
+    outcome.insert_clean = options_.cache_evaluations;
+  }
+
+  if (injector_ == nullptr) {
+    outcome.attempts = 1;
+    sim::EvalResult result = clean;
+    if (result.valid && rng != nullptr &&
+        options_.measurement.noise_stddev > 0.0) {
+      const int measured = options_.measurement.total_steps -
+                           options_.measurement.warmup_steps;
+      double sum = 0.0;
+      for (int i = 0; i < measured; ++i) {
+        sum += result.true_per_step_seconds *
+               sim::NoiseFactor(options_.measurement.noise_stddev, *rng);
+      }
+      result.per_step_seconds = sum / measured;
+    }
+    outcome.result = result;
+    return outcome;
+  }
+
+  outcome.result =
+      EvaluateWithRetries(placement, clean, rng, ticket.fault_rng, &outcome);
+  return outcome;
 }
 
 sim::EvalResult PlacementEnvironment::EvaluateWithRetries(
     const sim::Placement& placement, const sim::EvalResult& clean,
-    support::Rng* rng) {
+    support::Rng* noise_rng, support::Rng& fault_rng,
+    EvalOutcome* outcome) const {
   const support::RetryPolicy& retry = options_.retry;
   double cost_so_far = 0.0;
   for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
-    ++attempts_;
-    const sim::FaultDraw draw = injector_->Draw(fault_rng_);
-    sim::EvalResult result = session_.EvaluateWithFaults(placement, draw, rng);
+    ++outcome->attempts;
+    const sim::FaultDraw draw = injector_->Draw(fault_rng);
+    sim::EvalResult result =
+        session_.EvaluateWithFaults(placement, draw, noise_rng);
     bool attempt_failed = result.failed;
     double attempt_cost = result.measurement_cost_seconds;
     if (attempt_failed) {
-      ++transient_failures_;
+      ++outcome->transient_failures;
     } else if (retry.attempt_timeout_seconds > 0.0 &&
                attempt_cost > retry.attempt_timeout_seconds) {
       // The harness kills sessions that overrun the measurement budget
@@ -100,7 +162,7 @@ sim::EvalResult PlacementEnvironment::EvaluateWithRetries(
       // timeout, then counts as a failure.
       attempt_failed = true;
       attempt_cost = retry.attempt_timeout_seconds;
-      ++timeouts_;
+      ++outcome->timeouts;
     }
     cost_so_far += attempt_cost;
     if (!attempt_failed) {
@@ -113,15 +175,15 @@ sim::EvalResult PlacementEnvironment::EvaluateWithRetries(
       return result;
     }
     if (attempt < retry.max_attempts) {
-      ++retries_;
-      const double backoff = retry.BackoffSeconds(attempt, &fault_rng_);
-      backoff_seconds_total_ += backoff;
+      ++outcome->retries;
+      const double backoff = retry.BackoffSeconds(attempt, &fault_rng);
+      outcome->backoff_seconds += backoff;
       cost_so_far += backoff;
     }
   }
   // Persistent failure: degrade into the invalid-placement penalty so
   // training continues instead of aborting.
-  ++exhausted_evaluations_;
+  ++outcome->exhausted;
   sim::EvalResult result;
   result.valid = false;
   result.failed = true;
@@ -130,43 +192,70 @@ sim::EvalResult PlacementEnvironment::EvaluateWithRetries(
   return result;
 }
 
+void PlacementEnvironment::CommitEvaluation(const sim::Placement& placement,
+                                            const EvalOutcome& outcome) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (options_.cache_evaluations) {
+    const std::uint64_t hash = placement.Hash();
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->hash == hash && it->devices == placement.devices()) {
+        pending_.erase(it);
+        break;
+      }
+    }
+    if (outcome.insert_clean) cache_.Insert(placement, outcome.clean);
+  }
+  attempts_.fetch_add(outcome.attempts, std::memory_order_relaxed);
+  transient_failures_.fetch_add(outcome.transient_failures,
+                                std::memory_order_relaxed);
+  timeouts_.fetch_add(outcome.timeouts, std::memory_order_relaxed);
+  retries_.fetch_add(outcome.retries, std::memory_order_relaxed);
+  exhausted_evaluations_.fetch_add(outcome.exhausted,
+                                   std::memory_order_relaxed);
+  // Doubles don't commute bit-exactly: summed here, in commit order, so
+  // an N-thread run reports the same total as a serial one.
+  backoff_seconds_total_ += outcome.backoff_seconds;
+}
+
 sim::EvalResult PlacementEnvironment::Evaluate(
     const sim::Placement& placement, support::Rng* rng) {
-  ++evaluations_;
-  if (injector_ == nullptr) {
-    ++attempts_;
-    return EvaluateFaultFree(placement, rng);
-  }
-  // Noiseless ground truth (cached); the fault-injected attempts below
-  // draw their own noise, so the clean pass must not consume `rng`.
-  const sim::EvalResult clean = EvaluateFaultFree(placement, nullptr);
-  return EvaluateWithRetries(placement, clean, rng);
+  EvalTicket ticket = PrepareEvaluation(placement);
+  EvalOutcome outcome = EvaluateTicket(placement, ticket, rng);
+  CommitEvaluation(placement, outcome);
+  return outcome.result;
+}
+
+double PlacementEnvironment::backoff_seconds_total() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return backoff_seconds_total_;
 }
 
 void PlacementEnvironment::SerializeState(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   const auto rng_state = fault_rng_.state();
   for (std::uint64_t s : rng_state) WritePod(out, s);
-  WritePod(out, cache_hits_);
-  WritePod(out, evaluations_);
-  WritePod(out, attempts_);
-  WritePod(out, transient_failures_);
-  WritePod(out, timeouts_);
-  WritePod(out, retries_);
-  WritePod(out, exhausted_evaluations_);
+  WriteCounter(out, cache_hits_);
+  WriteCounter(out, evaluations_);
+  WriteCounter(out, attempts_);
+  WriteCounter(out, transient_failures_);
+  WriteCounter(out, timeouts_);
+  WriteCounter(out, retries_);
+  WriteCounter(out, exhausted_evaluations_);
   WritePod(out, backoff_seconds_total_);
 }
 
 void PlacementEnvironment::DeserializeState(std::istream& in) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   std::array<std::uint64_t, 4> rng_state{};
   for (auto& s : rng_state) ReadPod(in, s);
   fault_rng_.set_state(rng_state);
-  ReadPod(in, cache_hits_);
-  ReadPod(in, evaluations_);
-  ReadPod(in, attempts_);
-  ReadPod(in, transient_failures_);
-  ReadPod(in, timeouts_);
-  ReadPod(in, retries_);
-  ReadPod(in, exhausted_evaluations_);
+  ReadCounter(in, cache_hits_);
+  ReadCounter(in, evaluations_);
+  ReadCounter(in, attempts_);
+  ReadCounter(in, transient_failures_);
+  ReadCounter(in, timeouts_);
+  ReadCounter(in, retries_);
+  ReadCounter(in, exhausted_evaluations_);
   ReadPod(in, backoff_seconds_total_);
 }
 

@@ -13,10 +13,31 @@
 // the invalid-placement penalty instead of aborting training. Retry /
 // failure counters are exposed for reporting, and the mutable fault
 // stream serializes into training checkpoints for crash-safe resume.
+//
+// Concurrency: evaluation is split into a three-phase protocol so that
+// core::EvalService can run the expensive middle phase on worker threads
+// while the run stays bit-identical to a serial one:
+//
+//   1. PrepareEvaluation (serial, dispatch order) — splits a per-sample
+//      child off the fault stream, resolves the cache and counts the
+//      hit/miss verdict.
+//   2. EvaluateTicket (any thread) — const: simulator runs, fault-
+//      injected retry attempts and measurement noise touch only the
+//      ticket's private RNGs; shared counters/cache are never written.
+//   3. CommitEvaluation (serial, submission order) — inserts the clean
+//      result into the cache and applies the counter deltas, replaying
+//      exactly what an interleaved serial run would have done.
+//
+// Evaluate() is Prepare+Evaluate+Commit back to back, so serial callers,
+// a 1-thread service and an N-thread service all advance the same
+// streams in the same order.
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "core/eval_cache.h"
 #include "rl/trainer.h"
@@ -37,6 +58,33 @@ struct EnvironmentOptions {
   // single-fastest-device per-step lower bound.
   double penalty_factor = 10.0;
   bool cache_evaluations = true;
+  // Entry cap for the evaluation cache (<= 0: unbounded). Long fault
+  // sweeps revisit thousands of placements; the cap bounds memory with
+  // LRU-ish eviction (see EvalCache).
+  int eval_cache_capacity = 0;
+};
+
+// One in-flight evaluation's private context, split off serially at
+// dispatch time so concurrent evaluations share no mutable state.
+struct EvalTicket {
+  support::Rng fault_rng;         // per-sample child of the fault stream
+  bool counted_cache_hit = false;
+  bool has_clean = false;         // noiseless result resolved from cache
+  sim::EvalResult clean;
+};
+
+// One evaluation's result plus the deterministic counter deltas the
+// commit phase applies in submission order.
+struct EvalOutcome {
+  sim::EvalResult result;
+  sim::EvalResult clean;          // noiseless result, for the cache
+  bool insert_clean = false;
+  int attempts = 0;
+  int transient_failures = 0;
+  int timeouts = 0;
+  int retries = 0;
+  int exhausted = 0;
+  double backoff_seconds = 0.0;
 };
 
 class PlacementEnvironment : public rl::Environment {
@@ -49,6 +97,17 @@ class PlacementEnvironment : public rl::Environment {
                            support::Rng* rng) override;
   double InvalidPenaltySeconds() const override { return penalty_seconds_; }
 
+  // Three-phase evaluation protocol (see file comment). Prepare/Commit
+  // take the state lock and may be called from any thread, but the
+  // determinism contract requires Prepare calls in dispatch order and
+  // Commit calls in submission order; EvaluateTicket is const and safe
+  // to run concurrently.
+  EvalTicket PrepareEvaluation(const sim::Placement& placement);
+  EvalOutcome EvaluateTicket(const sim::Placement& placement,
+                             EvalTicket& ticket, support::Rng* rng) const;
+  void CommitEvaluation(const sim::Placement& placement,
+                        const EvalOutcome& outcome);
+
   // Fault stream + robustness counters, for checkpoint/resume.
   void SerializeState(std::ostream& out) const override;
   void DeserializeState(std::istream& in) override;
@@ -56,42 +115,59 @@ class PlacementEnvironment : public rl::Environment {
   const graph::OpGraph& graph() const { return *graph_; }
   const sim::ClusterSpec& cluster() const { return *cluster_; }
   const sim::MeasurementSession& session() const { return session_; }
+  const EvalCache& cache() const { return cache_; }
 
-  int cache_hits() const { return cache_hits_; }
-  int evaluations() const { return evaluations_; }
+  int cache_hits() const { return cache_hits_.load(); }
+  int evaluations() const { return evaluations_.load(); }
 
   // Robustness counters (all zero when faults are disabled).
-  int attempts() const { return attempts_; }
-  int transient_failures() const { return transient_failures_; }
-  int timeouts() const { return timeouts_; }
-  int retries() const { return retries_; }
+  int attempts() const { return attempts_.load(); }
+  int transient_failures() const { return transient_failures_.load(); }
+  int timeouts() const { return timeouts_.load(); }
+  int retries() const { return retries_.load(); }
   // Evaluations that exhausted every retry and degraded to the penalty.
-  int exhausted_evaluations() const { return exhausted_evaluations_; }
-  double backoff_seconds_total() const { return backoff_seconds_total_; }
+  int exhausted_evaluations() const { return exhausted_evaluations_.load(); }
+  double backoff_seconds_total() const;
 
  private:
-  sim::EvalResult EvaluateFaultFree(const sim::Placement& placement,
-                                    support::Rng* rng);
   sim::EvalResult EvaluateWithRetries(const sim::Placement& placement,
                                       const sim::EvalResult& clean,
-                                      support::Rng* rng);
+                                      support::Rng* noise_rng,
+                                      support::Rng& fault_rng,
+                                      EvalOutcome* outcome) const;
+  bool PendingContains(std::uint64_t hash,
+                       const std::vector<sim::DeviceId>& devices) const;
 
   const graph::OpGraph* graph_;
   const sim::ClusterSpec* cluster_;
   EnvironmentOptions options_;
   sim::MeasurementSession session_;
   std::unique_ptr<sim::FaultInjector> injector_;  // null: faults disabled
-  support::Rng fault_rng_;
   double penalty_seconds_ = 0.0;
+
+  // Mutable environment state. The mutex guards the fault stream, the
+  // pending list and the backoff accumulator (Prepare/Commit phases);
+  // the counters are atomic so concurrent direct Evaluate() calls stay
+  // safe, and their totals are order-independent.
+  mutable std::mutex state_mutex_;
+  support::Rng fault_rng_;
+  // Placements prepared but not yet committed: a duplicate dispatched in
+  // the same round counts as a cache hit exactly as it would have in an
+  // interleaved serial run.
+  struct PendingEval {
+    std::uint64_t hash;
+    std::vector<sim::DeviceId> devices;
+  };
+  std::vector<PendingEval> pending_;
   EvalCache cache_;
-  int cache_hits_ = 0;
-  int evaluations_ = 0;
-  int attempts_ = 0;
-  int transient_failures_ = 0;
-  int timeouts_ = 0;
-  int retries_ = 0;
-  int exhausted_evaluations_ = 0;
-  double backoff_seconds_total_ = 0.0;
+  std::atomic<int> cache_hits_{0};
+  std::atomic<int> evaluations_{0};
+  std::atomic<int> attempts_{0};
+  std::atomic<int> transient_failures_{0};
+  std::atomic<int> timeouts_{0};
+  std::atomic<int> retries_{0};
+  std::atomic<int> exhausted_evaluations_{0};
+  double backoff_seconds_total_ = 0.0;  // summed in commit order
 };
 
 }  // namespace eagle::core

@@ -1,30 +1,119 @@
 #include "core/eval_cache.h"
 
+#include <algorithm>
+
 namespace eagle::core {
+
+EvalCache::EvalCache(int max_entries) : max_entries_(std::max(0, max_entries)) {
+  if (max_entries_ > 0) {
+    shard_capacity_ = std::max(
+        1, (max_entries_ + static_cast<int>(kNumShards) - 1) /
+               static_cast<int>(kNumShards));
+  }
+}
+
+bool EvalCache::LookupByHash(std::uint64_t hash,
+                             const std::vector<sim::DeviceId>& devices,
+                             sim::EvalResult* out) {
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.buckets.find(hash);
+  if (it == shard.buckets.end()) return false;
+  for (Entry& entry : it->second) {
+    if (entry.devices == devices) {
+      entry.last_used = ++shard.tick;
+      *out = entry.result;
+      return true;
+    }
+  }
+  return false;
+}
 
 const sim::EvalResult* EvalCache::FindByHash(
     std::uint64_t hash, const std::vector<sim::DeviceId>& devices) const {
-  const auto it = buckets_.find(hash);
-  if (it == buckets_.end()) return nullptr;
+  const Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.buckets.find(hash);
+  if (it == shard.buckets.end()) return nullptr;
   for (const Entry& entry : it->second) {
     if (entry.devices == devices) return &entry.result;
   }
   return nullptr;
 }
 
+void EvalCache::EvictOne(Shard& shard) {
+  auto victim_bucket = shard.buckets.end();
+  std::size_t victim_index = 0;
+  std::uint64_t oldest = 0;
+  bool found = false;
+  for (auto it = shard.buckets.begin(); it != shard.buckets.end(); ++it) {
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      const Entry& entry = it->second[i];
+      if (!found || entry.last_used < oldest) {
+        found = true;
+        oldest = entry.last_used;
+        victim_bucket = it;
+        victim_index = i;
+      }
+    }
+  }
+  if (!found) return;
+  auto& bucket = victim_bucket->second;
+  bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(victim_index));
+  if (bucket.empty()) shard.buckets.erase(victim_bucket);
+  --shard.size;
+  ++shard.evictions;
+}
+
 void EvalCache::InsertByHash(std::uint64_t hash,
                              const std::vector<sim::DeviceId>& devices,
                              const sim::EvalResult& result) {
-  auto& bucket = buckets_[hash];
-  for (Entry& entry : bucket) {
-    if (entry.devices == devices) {
-      entry.result = result;
-      return;
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.buckets.find(hash);
+  if (it != shard.buckets.end()) {
+    for (Entry& entry : it->second) {
+      if (entry.devices == devices) {
+        entry.result = result;
+        entry.last_used = ++shard.tick;
+        return;
+      }
     }
   }
-  if (!bucket.empty()) ++collisions_;
-  bucket.push_back(Entry{devices, result});
-  ++size_;
+  // Full shard: drop the least-recently-used entry before adding. The
+  // bucket is (re-)resolved afterwards since eviction can erase it.
+  if (shard_capacity_ > 0 && shard.size >= shard_capacity_) EvictOne(shard);
+  auto& bucket = shard.buckets[hash];
+  if (!bucket.empty()) ++shard.collisions;
+  bucket.push_back(Entry{devices, result, ++shard.tick});
+  ++shard.size;
+}
+
+int EvalCache::size() const {
+  int total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.size;
+  }
+  return total;
+}
+
+int EvalCache::collisions() const {
+  int total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.collisions;
+  }
+  return total;
+}
+
+int EvalCache::evictions() const {
+  int total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.evictions;
+  }
+  return total;
 }
 
 }  // namespace eagle::core

@@ -4,9 +4,18 @@
 // unordered_map it replaces — each hit verifies the full device vector,
 // so a hash collision can never silently return another placement's
 // EvalResult (it just becomes a second entry in the bucket).
+//
+// Thread-safe via sharded locks: entries are spread over 16 shards, each
+// guarded by its own mutex, so concurrent evaluations (core::EvalService)
+// contend only when they land on the same shard. Growth is bounded by an
+// optional entry cap with LRU-ish eviction — Lookup/Insert refresh a
+// per-shard recency tick and a full shard evicts its least-recently-used
+// entry — so long fault sweeps no longer grow the cache without limit.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -17,9 +26,15 @@ namespace eagle::core {
 
 class EvalCache {
  public:
-  // Returns the cached result for exactly this placement, or nullptr.
-  const sim::EvalResult* Find(const sim::Placement& placement) const {
-    return FindByHash(placement.Hash(), placement.devices());
+  // max_entries <= 0 keeps the cache unbounded (the historical default).
+  explicit EvalCache(int max_entries = 0);
+
+  // Copies the cached result for exactly this placement into `*out` and
+  // refreshes its recency; returns false on miss. This is the
+  // thread-safe lookup: the copy means no pointer can dangle when
+  // another thread inserts or evicts concurrently.
+  bool Lookup(const sim::Placement& placement, sim::EvalResult* out) {
+    return LookupByHash(placement.Hash(), placement.devices(), out);
   }
 
   void Insert(const sim::Placement& placement, const sim::EvalResult& result) {
@@ -28,23 +43,59 @@ class EvalCache {
 
   // Hash-explicit variants, exposed so tests can force collisions
   // without hunting for real 64-bit hash collisions.
-  const sim::EvalResult* FindByHash(
-      std::uint64_t hash, const std::vector<sim::DeviceId>& devices) const;
+  bool LookupByHash(std::uint64_t hash,
+                    const std::vector<sim::DeviceId>& devices,
+                    sim::EvalResult* out);
   void InsertByHash(std::uint64_t hash,
                     const std::vector<sim::DeviceId>& devices,
                     const sim::EvalResult& result);
 
-  int size() const { return size_; }
-  int collisions() const { return collisions_; }
+  // Pointer-returning lookup kept for single-threaded callers and tests.
+  // The pointer is only valid until the next mutating call (an insert
+  // can evict or reallocate the entry); it does not refresh recency.
+  const sim::EvalResult* Find(const sim::Placement& placement) const {
+    return FindByHash(placement.Hash(), placement.devices());
+  }
+  const sim::EvalResult* FindByHash(
+      std::uint64_t hash, const std::vector<sim::DeviceId>& devices) const;
+
+  int size() const;
+  int collisions() const;  // inserts that shared a hash with different devices
+  int evictions() const;   // entries dropped to respect max_entries
+  int max_entries() const { return max_entries_; }
+
+  // The cap is enforced per shard (ceil(max_entries / kNumShards) each),
+  // so total occupancy can round up to at most kNumShards extra entries.
+  static constexpr std::size_t kNumShards = 16;
 
  private:
   struct Entry {
     std::vector<sim::DeviceId> devices;
     sim::EvalResult result;
+    std::uint64_t last_used = 0;
   };
-  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
-  int size_ = 0;
-  int collisions_ = 0;  // inserts that shared a hash with different devices
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::vector<Entry>> buckets;
+    std::uint64_t tick = 0;  // per-shard recency clock
+    int size = 0;
+    int collisions = 0;
+    int evictions = 0;
+  };
+
+  Shard& ShardFor(std::uint64_t hash) {
+    return shards_[static_cast<std::size_t>(hash) & (kNumShards - 1)];
+  }
+  const Shard& ShardFor(std::uint64_t hash) const {
+    return shards_[static_cast<std::size_t>(hash) & (kNumShards - 1)];
+  }
+
+  // Drops the least-recently-used entry of `shard`. Caller holds the lock.
+  static void EvictOne(Shard& shard);
+
+  std::array<Shard, kNumShards> shards_;
+  int max_entries_ = 0;
+  int shard_capacity_ = 0;  // 0: unbounded
 };
 
 }  // namespace eagle::core

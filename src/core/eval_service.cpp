@@ -1,0 +1,63 @@
+#include "core/eval_service.h"
+
+#include "support/check.h"
+
+namespace eagle::core {
+
+EvalService::EvalService(PlacementEnvironment& environment, int num_threads)
+    : environment_(&environment) {
+  if (num_threads > 1) {
+    pool_ = std::make_unique<support::ThreadPool>(num_threads);
+  }
+}
+
+EvalService::~EvalService() = default;
+
+int EvalService::num_threads() const {
+  return pool_ == nullptr ? 1 : pool_->num_threads();
+}
+
+std::vector<sim::EvalResult> EvalService::EvaluateBatch(
+    const std::vector<sim::Placement>& placements,
+    std::vector<support::Rng>& rngs) {
+  EAGLE_CHECK(placements.size() == rngs.size());
+  const std::size_t count = placements.size();
+
+  // Phase 1 — dispatch order: split the fault stream and settle cache
+  // accounting while the environment is still in its pre-batch state.
+  std::vector<EvalTicket> tickets;
+  tickets.reserve(count);
+  for (const sim::Placement& placement : placements) {
+    tickets.push_back(environment_->PrepareEvaluation(placement));
+  }
+
+  // Phase 2 — concurrent: each evaluation touches only its own ticket
+  // and RNG. Exceptions propagate out of Wait() after the batch drains.
+  std::vector<EvalOutcome> outcomes(count);
+  if (pool_ != nullptr) {
+    for (std::size_t i = 0; i < count; ++i) {
+      pool_->Submit([this, &placements, &tickets, &rngs, &outcomes, i] {
+        outcomes[i] = environment_->EvaluateTicket(placements[i], tickets[i],
+                                                   &rngs[i]);
+      });
+    }
+    pool_->Wait();
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      outcomes[i] =
+          environment_->EvaluateTicket(placements[i], tickets[i], &rngs[i]);
+    }
+  }
+
+  // Phase 3 — submission order: replay cache fills and counter updates
+  // exactly as an interleaved serial run would have.
+  std::vector<sim::EvalResult> results;
+  results.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    environment_->CommitEvaluation(placements[i], outcomes[i]);
+    results.push_back(outcomes[i].result);
+  }
+  return results;
+}
+
+}  // namespace eagle::core

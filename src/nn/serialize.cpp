@@ -4,6 +4,7 @@
 #include <fstream>
 #include <vector>
 
+#include "support/atomic_file.h"
 #include "support/check.h"
 #include "support/log.h"
 
@@ -31,13 +32,13 @@ void SaveParams(const ParamStore& store, std::ostream& out) {
 }
 
 bool SaveParams(const ParamStore& store, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    EAGLE_LOG(Warn) << "cannot open " << path << " for writing";
-    return false;
-  }
-  SaveParams(store, out);
-  return static_cast<bool>(out);
+  // Write-temp-then-rename (support::WriteFileAtomic): the trainer
+  // overwrites its best-parameters file every time a new best placement
+  // is found, and a crash mid-write must never corrupt the previous one.
+  return support::WriteFileAtomic(path, [&store](std::ostream& out) {
+    SaveParams(store, out);
+    return static_cast<bool>(out);
+  });
 }
 
 int LoadParams(ParamStore& store, std::istream& in) {

@@ -1,11 +1,10 @@
 #include "rl/checkpoint.h"
 
-#include <cstdio>
 #include <cstring>
-#include <filesystem>
 #include <fstream>
 
 #include "nn/serialize.h"
+#include "support/atomic_file.h"
 #include "support/check.h"
 #include "support/log.h"
 
@@ -13,7 +12,11 @@ namespace eagle::rl {
 
 namespace {
 
-constexpr char kMagic[8] = {'E', 'A', 'G', 'L', 'C', 'K', 'P', '1'};
+// Version 2 added Sample::eval_stream (the per-sample evaluation RNG
+// stream number used by the parallel evaluation path). Writers emit v2;
+// the reader still accepts v1 checkpoints, defaulting eval_stream to 0.
+constexpr char kMagicV1[8] = {'E', 'A', 'G', 'L', 'C', 'K', 'P', '1'};
+constexpr char kMagicV2[8] = {'E', 'A', 'G', 'L', 'C', 'K', 'P', '2'};
 constexpr char kEndMarker[8] = {'E', 'A', 'G', 'L', 'C', 'K', 'P', 'E'};
 
 template <typename T>
@@ -49,13 +52,14 @@ void WriteSample(std::ostream& out, const Sample& sample) {
   WriteI32Vector(out, sample.group_devices);
   WritePod(out, sample.logp);
   WritePod(out, static_cast<std::int32_t>(sample.num_decisions));
+  WritePod(out, sample.eval_stream);
   WritePod(out, static_cast<std::uint8_t>(sample.valid ? 1 : 0));
   WritePod(out, sample.per_step_seconds);
   WritePod(out, sample.reward);
   WritePod(out, sample.advantage);
 }
 
-Sample ReadSample(std::istream& in) {
+Sample ReadSample(std::istream& in, int version) {
   Sample sample;
   sample.grouping = ReadI32Vector(in);
   sample.group_devices = ReadI32Vector(in);
@@ -63,6 +67,7 @@ Sample ReadSample(std::istream& in) {
   std::int32_t num_decisions = 0;
   ReadPod(in, num_decisions);
   sample.num_decisions = num_decisions;
+  if (version >= 2) ReadPod(in, sample.eval_stream);
   std::uint8_t valid = 0;
   ReadPod(in, valid);
   sample.valid = valid != 0;
@@ -129,19 +134,10 @@ std::string CheckpointFilePath(const std::string& dir,
 
 bool SaveCheckpoint(const std::string& path, const nn::ParamStore& params,
                     const nn::Adam& optimizer, const CheckpointData& data) {
-  const std::filesystem::path file(path);
-  std::error_code ec;
-  if (file.has_parent_path()) {
-    std::filesystem::create_directories(file.parent_path(), ec);
-  }
-  const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      EAGLE_LOG(Warn) << "cannot open " << tmp_path << " for writing";
-      return false;
-    }
-    out.write(kMagic, sizeof(kMagic));
+  // The temp-file-then-rename dance lives in WriteFileAtomic: a crash at
+  // any instant leaves the previous good checkpoint loadable.
+  return support::WriteFileAtomic(path, [&](std::ostream& out) {
+    out.write(kMagicV2, sizeof(kMagicV2));
     nn::SaveParams(params, out);
     optimizer.SaveState(out);
     for (std::uint64_t s : data.rng_state) WritePod(out, s);
@@ -160,19 +156,8 @@ bool SaveCheckpoint(const std::string& path, const nn::ParamStore& params,
     out.write(data.critic_state.data(),
               static_cast<std::streamsize>(data.critic_state.size()));
     out.write(kEndMarker, sizeof(kEndMarker));
-    out.flush();
-    if (!out) {
-      EAGLE_LOG(Warn) << "failed writing checkpoint " << tmp_path;
-      return false;
-    }
-  }
-  // The temp file is complete: atomically replace the previous
-  // checkpoint so a crash at any instant leaves a loadable file.
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    EAGLE_LOG(Warn) << "cannot rename " << tmp_path << " to " << path;
-    return false;
-  }
-  return true;
+    return static_cast<bool>(out);
+  });
 }
 
 bool LoadCheckpoint(const std::string& path, nn::ParamStore& params,
@@ -181,8 +166,14 @@ bool LoadCheckpoint(const std::string& path, nn::ParamStore& params,
   if (!in) return false;
   char magic[8];
   in.read(magic, sizeof(magic));
-  EAGLE_CHECK_MSG(in && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-                  "bad checkpoint magic in " << path);
+  EAGLE_CHECK_MSG(in, "bad checkpoint magic in " << path);
+  int version = 0;
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    version = 2;
+  } else if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    version = 1;
+  }
+  EAGLE_CHECK_MSG(version != 0, "bad checkpoint magic in " << path);
   nn::LoadParams(params, in);
   optimizer.LoadState(in);
   for (auto& s : data->rng_state) ReadPod(in, s);
@@ -197,7 +188,7 @@ bool LoadCheckpoint(const std::string& path, nn::ParamStore& params,
   data->pool.clear();
   data->pool.reserve(pool_size);
   for (std::uint32_t i = 0; i < pool_size; ++i) {
-    data->pool.push_back(ReadSample(in));
+    data->pool.push_back(ReadSample(in, version));
   }
   std::uint32_t batch_size = 0;
   ReadPod(in, batch_size);
@@ -205,7 +196,7 @@ bool LoadCheckpoint(const std::string& path, nn::ParamStore& params,
   data->batch.clear();
   data->batch.reserve(batch_size);
   for (std::uint32_t i = 0; i < batch_size; ++i) {
-    data->batch.push_back(ReadSample(in));
+    data->batch.push_back(ReadSample(in, version));
   }
   std::int32_t since_ce = 0;
   ReadPod(in, since_ce);

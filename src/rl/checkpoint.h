@@ -7,9 +7,14 @@
 // opaque environment-state blob (Environment::SerializeState — the fault
 // stream and robustness counters for PlacementEnvironment).
 //
-// Files are written atomically: the checkpoint is serialized to
-// `<path>.tmp` and renamed over `<path>` only once complete, so a crash
-// mid-write can never corrupt the previous good checkpoint.
+// Files are written atomically (support::WriteFileAtomic): the
+// checkpoint is serialized to `<path>.tmp` and renamed over `<path>`
+// only once complete, so a crash mid-write can never corrupt the
+// previous good checkpoint.
+//
+// Format v2 ("EAGLCKP2") records each sample's evaluation RNG stream
+// number so runs resumed through the parallel evaluation path stay
+// bit-compatible; v1 checkpoints still load (streams default to 0).
 #pragma once
 
 #include <array>

@@ -29,6 +29,11 @@ struct Sample {
   // log-ratio by this so the clip region stays meaningful for joint
   // policies over hundreds of categoricals.
   int num_decisions = 1;
+  // Global sample index, doubling as the child-RNG stream number: the
+  // trainer evaluates sample i with rng.Split(eval_stream) so measurement
+  // noise is identical whether the minibatch runs serially or on a
+  // thread pool (core::EvalService).
+  std::uint64_t eval_stream = 0;
   bool valid = false;      // environment verdict (false == OOM)
   double per_step_seconds = 0.0;  // measured (noisy) per-step time
   double reward = 0.0;

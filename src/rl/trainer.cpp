@@ -1,5 +1,6 @@
 #include "rl/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <sstream>
@@ -96,50 +97,102 @@ TrainResult TrainAgent(PolicyAgent& agent, Environment& environment,
     }
   }
 
+  // Child-stream counter for evaluation RNGs: sample i (globally) is
+  // evaluated with rng.Split(i). Rounds are dispatched only at commit
+  // boundaries, so on resume the counter is simply the sample count.
+  std::uint64_t next_eval_stream =
+      static_cast<std::uint64_t>(result.total_samples);
+
   while (result.total_samples < options.total_samples) {
     if (options.max_virtual_hours > 0.0 &&
         result.total_virtual_hours >= options.max_virtual_hours) {
       break;
     }
-    Sample sample = agent.SampleDecision(rng);
-    const sim::Placement placement = agent.ToPlacement(sample);
-    const sim::EvalResult eval = environment.Evaluate(placement, &rng);
-    sample.valid = eval.valid;
-    sample.per_step_seconds = eval.per_step_seconds;
-    sample.reward = ComputeReward(eval, reward_options);
-    if (critic != nullptr) {
-      sample.advantage = sample.reward - critic->Predict(sample);
-      baseline.AdvantageAndUpdate(sample.reward);  // tracked for logging
-    } else {
-      sample.advantage = baseline.AdvantageAndUpdate(sample.reward);
+    // One round fills the minibatch (or what remains of the sample
+    // budget). Sampling is serial so the policy RNG stream is identical
+    // regardless of how the evaluations are scheduled.
+    const int room = options.minibatch_size - static_cast<int>(batch.size());
+    const int round_size =
+        std::min(room, options.total_samples - result.total_samples);
+    EAGLE_CHECK(round_size >= 1);
+    std::vector<Sample> round;
+    std::vector<sim::Placement> placements;
+    std::vector<support::Rng> eval_rngs;
+    round.reserve(static_cast<std::size_t>(round_size));
+    placements.reserve(static_cast<std::size_t>(round_size));
+    eval_rngs.reserve(static_cast<std::size_t>(round_size));
+    for (int i = 0; i < round_size; ++i) {
+      Sample sample = agent.SampleDecision(rng);
+      sample.eval_stream = next_eval_stream++;
+      eval_rngs.push_back(rng.Split(sample.eval_stream));
+      placements.push_back(agent.ToPlacement(sample));
+      round.push_back(std::move(sample));
     }
 
-    result.total_samples++;
-    result.total_virtual_hours += eval.measurement_cost_seconds / 3600.0;
-    if (!eval.valid) {
-      result.invalid_samples++;
-    } else if (eval.true_per_step_seconds < result.best_per_step_seconds) {
-      result.found_valid = true;
-      result.best_per_step_seconds = eval.true_per_step_seconds;
-      result.best_placement = placement;
-      result.best_found_at_hours = result.total_virtual_hours;
-      if (!options.checkpoint_path.empty()) {
-        nn::SaveParams(agent.params(), options.checkpoint_path);
+    std::vector<sim::EvalResult> evals;
+    if (options.evaluator != nullptr) {
+      evals = options.evaluator->EvaluateBatch(placements, eval_rngs);
+      EAGLE_CHECK(evals.size() == round.size());
+    } else {
+      evals.reserve(round.size());
+      for (std::size_t i = 0; i < round.size(); ++i) {
+        evals.push_back(environment.Evaluate(placements[i], &eval_rngs[i]));
       }
     }
 
-    HistoryPoint point;
-    point.sample_index = result.total_samples;
-    point.virtual_hours = result.total_virtual_hours;
-    point.per_step_seconds = eval.valid
-                                 ? eval.per_step_seconds
-                                 : std::numeric_limits<double>::infinity();
-    point.best_so_far_seconds = result.best_per_step_seconds;
-    result.history.push_back(point);
-    if (on_progress) on_progress(point);
+    // Reduce in submission order: every mutation below replays exactly
+    // what the serial one-sample loop did, keeping history, best-so-far
+    // and the EMA baseline bit-identical at any thread count.
+    bool budget_exhausted = false;
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      Sample& sample = round[i];
+      const sim::EvalResult& eval = evals[i];
+      sample.valid = eval.valid;
+      sample.per_step_seconds = eval.per_step_seconds;
+      sample.reward = ComputeReward(eval, reward_options);
+      if (critic != nullptr) {
+        sample.advantage = sample.reward - critic->Predict(sample);
+        baseline.AdvantageAndUpdate(sample.reward);  // tracked for logging
+      } else {
+        sample.advantage = baseline.AdvantageAndUpdate(sample.reward);
+      }
 
-    batch.push_back(std::move(sample));
-    ++since_ce;
+      result.total_samples++;
+      result.total_virtual_hours += eval.measurement_cost_seconds / 3600.0;
+      if (!eval.valid) {
+        result.invalid_samples++;
+      } else if (eval.true_per_step_seconds < result.best_per_step_seconds) {
+        result.found_valid = true;
+        result.best_per_step_seconds = eval.true_per_step_seconds;
+        result.best_placement = placements[i];
+        result.best_found_at_hours = result.total_virtual_hours;
+        if (!options.checkpoint_path.empty()) {
+          nn::SaveParams(agent.params(), options.checkpoint_path);
+        }
+      }
+
+      HistoryPoint point;
+      point.sample_index = result.total_samples;
+      point.virtual_hours = result.total_virtual_hours;
+      point.per_step_seconds = eval.valid
+                                   ? eval.per_step_seconds
+                                   : std::numeric_limits<double>::infinity();
+      point.best_so_far_seconds = result.best_per_step_seconds;
+      result.history.push_back(point);
+      if (on_progress) on_progress(point);
+
+      batch.push_back(std::move(sample));
+      ++since_ce;
+
+      if (options.max_virtual_hours > 0.0 &&
+          result.total_virtual_hours >= options.max_virtual_hours) {
+        // Same stop point as the serial loop: the sample that crossed the
+        // budget is counted, anything dispatched after it this round is
+        // discarded (its measurement cost is never charged).
+        budget_exhausted = true;
+        break;
+      }
+    }
 
     if (static_cast<int>(batch.size()) >= options.minibatch_size) {
       if (critic != nullptr) critic->Update(batch);
@@ -170,6 +223,7 @@ TrainResult TrainAgent(PolicyAgent& agent, Environment& environment,
         save_snapshot();
       }
     }
+    if (budget_exhausted) break;
   }
   if (result.total_samples != last_snapshot_sample) save_snapshot();
   return result;

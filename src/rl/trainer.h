@@ -3,6 +3,14 @@
 // with the EMA baseline, and update the agent with the configured
 // algorithm (REINFORCE / PPO / PPO joint with cross-entropy, §III-D).
 //
+// The loop is round-structured for parallel evaluation: each round
+// samples a full minibatch up front (serial, so the policy RNG stream is
+// fixed), evaluates it — inline or through a BatchEvaluator such as
+// core::EvalService — and reduces rewards, baseline updates, history and
+// best-so-far tracking in submission order. The reduction replays
+// exactly what a one-sample-at-a-time loop would have done, so results
+// are bit-identical at any thread count.
+//
 // The loop also maintains the *virtual clock*: each evaluated placement
 // charges its measurement cost (session setup + warm-up + 15 measured
 // steps, §IV-C) so training curves can be plotted against simulated hours
@@ -42,6 +50,21 @@ class Environment {
   virtual void DeserializeState(std::istream& in) { (void)in; }
 };
 
+// Batch evaluation abstraction implemented by core::EvalService: the
+// trainer hands over a full round of placements plus one private RNG per
+// sample and gets results back in submission order. Implementations must
+// be bit-identical to evaluating the placements one by one with
+// Environment::Evaluate — thread count may change wall-clock time only.
+class BatchEvaluator {
+ public:
+  virtual ~BatchEvaluator() = default;
+  // Evaluates placements[i] with rngs[i]; returns one result per
+  // placement, in the same order.
+  virtual std::vector<sim::EvalResult> EvaluateBatch(
+      const std::vector<sim::Placement>& placements,
+      std::vector<support::Rng>& rngs) = 0;
+};
+
 enum class Algorithm { kReinforce, kPpo, kPpoCe };
 
 const char* AlgorithmName(Algorithm algorithm);
@@ -65,7 +88,14 @@ struct TrainerOptions {
   int num_devices = 5;          // critic input width (cluster size)
   nn::AdamOptions adam;         // lr=0.01, clip=1.0 (paper)
   std::uint64_t seed = 7;
+  // Optional parallel evaluation service (not owned; null: evaluate
+  // inline). The trainer dispatches each round of samples through it; a
+  // conforming evaluator (core::EvalService) keeps the run bit-identical
+  // to the inline path at any thread count.
+  BatchEvaluator* evaluator = nullptr;
   // Stop early once the virtual clock passes this budget (<=0: unlimited).
+  // The sample that crosses the budget is the last one counted; samples
+  // dispatched after it in the same round are evaluated but discarded.
   double max_virtual_hours = 0.0;
   // When set, the agent's parameters are checkpointed here every time a
   // new best placement is found (resumable with nn::LoadParams).

@@ -1,0 +1,45 @@
+#include "support/atomic_file.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "support/log.h"
+
+namespace eagle::support {
+
+bool WriteFileAtomic(const std::string& path,
+                     const std::function<bool(std::ostream&)>& writer) {
+  const std::filesystem::path file(path);
+  std::error_code ec;
+  if (file.has_parent_path()) {
+    std::filesystem::create_directories(file.parent_path(), ec);
+  }
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      EAGLE_LOG(Warn) << "cannot open " << tmp_path << " for writing";
+      return false;
+    }
+    if (!writer(out)) {
+      EAGLE_LOG(Warn) << "failed serializing " << tmp_path;
+      std::remove(tmp_path.c_str());
+      return false;
+    }
+    out.flush();
+    if (!out) {
+      EAGLE_LOG(Warn) << "failed writing " << tmp_path;
+      std::remove(tmp_path.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    EAGLE_LOG(Warn) << "cannot rename " << tmp_path << " to " << path;
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace eagle::support

@@ -23,7 +23,9 @@ double RetryPolicy::BackoffSeconds(int failures, Rng* rng) const {
   if (rng != nullptr && jitter_fraction > 0.0) {
     backoff *= 1.0 + rng->NextUniform(-jitter_fraction, jitter_fraction);
   }
-  return backoff;
+  // Clamp again *after* jitter: upward jitter on an already-capped
+  // backoff must not push the wait past the configured maximum.
+  return std::min(backoff, max_backoff_seconds);
 }
 
 }  // namespace eagle::support

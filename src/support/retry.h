@@ -17,7 +17,8 @@ struct RetryPolicy {
   double initial_backoff_seconds = 5.0;
   double backoff_multiplier = 2.0;
   double max_backoff_seconds = 120.0;
-  // Uniform jitter: the backoff is scaled by 1 ± U(0, jitter_fraction).
+  // Uniform jitter: the backoff is scaled by 1 ± U(0, jitter_fraction),
+  // then re-clamped so the wait never exceeds max_backoff_seconds.
   // Zero keeps backoffs exact (tests rely on this).
   double jitter_fraction = 0.25;
   // An attempt whose measurement would take longer than this is killed

@@ -4,6 +4,19 @@
 
 namespace eagle::support {
 
+Rng Rng::Split(std::uint64_t stream) const {
+  // Fold the full 256-bit state down to one word, then run it through
+  // SplitMix64 together with the stream index. SplitMix64's output mixing
+  // decorrelates consecutive stream indices, and Rng's constructor expands
+  // the result through SplitMix64 again to seed the child's xoshiro state.
+  std::uint64_t folded = s_[0];
+  folded = (folded ^ Rotl(s_[1], 17)) * 0x9e3779b97f4a7c15ULL;
+  folded = (folded ^ Rotl(s_[2], 31)) * 0xbf58476d1ce4e5b9ULL;
+  folded = (folded ^ Rotl(s_[3], 47)) * 0x94d049bb133111ebULL;
+  SplitMix64 sm(folded + stream);
+  return Rng(sm.Next());
+}
+
 std::uint64_t Rng::NextBelow(std::uint64_t n) {
   EAGLE_CHECK(n > 0);
   // Lemire-style rejection to remove modulo bias.

@@ -93,8 +93,17 @@ class Rng {
     }
   }
 
-  // Derive an independent child stream (for per-component seeding).
+  // Derive an independent child stream (for per-component seeding),
+  // advancing this generator by one draw.
   Rng Split() { return Rng(NextU64()); }
+
+  // Derive child stream number `stream` from the *current* state without
+  // advancing it. Distinct streams (and distinct parent states) yield
+  // independent children; the same (state, stream) pair always yields the
+  // same child. The trainer splits one stream per minibatch sample this
+  // way, so evaluations can run on any thread in any order while the
+  // parent stream — and therefore the whole run — stays bit-reproducible.
+  Rng Split(std::uint64_t stream) const;
 
   // Raw generator state, for crash-safe checkpoint/resume: restoring the
   // state continues the stream bit-compatibly.

@@ -26,6 +26,7 @@ void Table::AddRow(std::vector<std::string> row) {
 }
 
 std::string Table::Num(double v, int precision) {
+  if (!std::isfinite(v)) return "n/a";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
@@ -107,7 +108,14 @@ bool WriteSeriesCsv(const std::string& path, const std::string& x_name,
   }
   out << "series," << x_name << "," << y_name << "\n";
   for (const auto& p : points) {
-    out << CsvEscape(p.series) << "," << p.x << "," << p.y << "\n";
+    // Non-finite values (e.g. the infinity marking an invalid sample)
+    // become an empty field — CSV's null — instead of "inf", which most
+    // consumers reject.
+    out << CsvEscape(p.series) << ",";
+    if (std::isfinite(p.x)) out << p.x;
+    out << ",";
+    if (std::isfinite(p.y)) out << p.y;
+    out << "\n";
   }
   return static_cast<bool>(out);
 }

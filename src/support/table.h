@@ -16,8 +16,10 @@ class Table {
   void SetHeader(std::vector<std::string> header);
   void AddRow(std::vector<std::string> row);
 
-  // Formats a double with the given precision ("OOM"/"n/a" handled by
-  // callers passing strings directly).
+  // Formats a double with the given precision ("OOM" handled by callers
+  // passing strings directly). Non-finite values — e.g. the infinity
+  // sentinel invalid samples carry in training history — render as the
+  // "n/a" null sentinel instead of "inf"/"nan".
   static std::string Num(double v, int precision = 3);
 
   // Renders an aligned ASCII table.

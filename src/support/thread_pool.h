@@ -1,0 +1,58 @@
+// Fixed-size worker pool for fan-out/join parallelism.
+//
+// Built for core::EvalService: a dispatcher submits a batch of
+// independent evaluation closures, calls Wait(), and reduces the results
+// in submission order. Tasks must synchronize any state they share; the
+// pool only guarantees that everything submitted before Wait() has
+// finished (and its writes are visible) when Wait() returns.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eagle::support {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  // Drains the queue (Wait) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Never blocks on task execution.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has completed. If any task
+  // threw, the first captured exception is rethrown here (remaining
+  // tasks still run to completion first).
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // The machine's hardware concurrency, always >= 1.
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::exception_ptr first_error_;
+  int in_flight_ = 0;  // queued + currently running tasks
+  bool stopping_ = false;
+};
+
+}  // namespace eagle::support

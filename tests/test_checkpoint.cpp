@@ -224,6 +224,54 @@ TEST(Checkpoint, DataRoundTrip) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Checkpoint, V1MagicStillLoads) {
+  // The v2 format added Sample::eval_stream; a checkpoint with no stored
+  // samples is byte-identical to v1 apart from the magic, so rewriting
+  // the version byte yields a faithful v1 file the reader must accept.
+  Fixture fix;
+  auto agent = fix.Agent(4);
+  nn::Adam optimizer(agent->params());
+  CheckpointData data;
+  data.result.total_samples = 12;
+  data.rng_state = {1, 2, 3, 4};
+
+  const std::string dir = FreshDir("eagle_ckpt_v1");
+  const std::string path = CheckpointFilePath(dir, "trainer");
+  ASSERT_TRUE(SaveCheckpoint(path, agent->params(), optimizer, data));
+  {
+    std::fstream io(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+    io.seekp(7);
+    io.put('1');  // "EAGLCKP2" -> "EAGLCKP1"
+  }
+  CheckpointData restored;
+  ASSERT_TRUE(LoadCheckpoint(path, agent->params(), optimizer, &restored));
+  EXPECT_EQ(restored.result.total_samples, 12);
+  EXPECT_EQ(restored.rng_state, data.rng_state);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, SampleEvalStreamRoundTrips) {
+  Fixture fix;
+  auto agent = fix.Agent(5);
+  nn::Adam optimizer(agent->params());
+  CheckpointData data;
+  Sample sample;
+  sample.grouping = {0, 1};
+  sample.group_devices = {2, 3};
+  sample.eval_stream = 0x0123456789abcdefULL;
+  data.pool = {sample};
+
+  const std::string dir = FreshDir("eagle_ckpt_stream");
+  const std::string path = CheckpointFilePath(dir, "trainer");
+  ASSERT_TRUE(SaveCheckpoint(path, agent->params(), optimizer, data));
+  CheckpointData restored;
+  ASSERT_TRUE(LoadCheckpoint(path, agent->params(), optimizer, &restored));
+  ASSERT_EQ(restored.pool.size(), 1u);
+  EXPECT_EQ(restored.pool[0].eval_stream, 0x0123456789abcdefULL);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Checkpoint, LoadMissingReturnsFalse) {
   Fixture fix;
   auto agent = fix.Agent(2);

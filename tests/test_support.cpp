@@ -1,13 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
+#include <stdexcept>
 
 #include "support/args.h"
+#include "support/atomic_file.h"
+#include "support/retry.h"
 #include "support/rng.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace eagle::support {
 namespace {
@@ -112,6 +118,148 @@ TEST(Rng, SplitStreamsIndependent) {
   EXPECT_NE(child1.NextU64(), child2.NextU64());
 }
 
+TEST(Rng, NumberedSplitDoesNotAdvanceParent) {
+  Rng rng(17);
+  Rng twin(17);
+  (void)rng.Split(0);
+  (void)rng.Split(1);
+  (void)rng.Split(99);
+  // The const stream API leaves the parent state untouched.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(rng.NextU64(), twin.NextU64());
+}
+
+TEST(Rng, NumberedSplitDeterministicPerStream) {
+  Rng a(18), b(18);
+  for (std::uint64_t stream : {0ull, 1ull, 7ull, 1000000ull}) {
+    Rng child_a = a.Split(stream);
+    Rng child_b = b.Split(stream);
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_EQ(child_a.NextU64(), child_b.NextU64()) << "stream " << stream;
+    }
+  }
+}
+
+TEST(Rng, NumberedSplitStreamsDiffer) {
+  Rng rng(19);
+  // Adjacent stream numbers (the trainer uses consecutive sample indices)
+  // must produce decorrelated children.
+  Rng c0 = rng.Split(0);
+  Rng c1 = rng.Split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += c0.NextU64() == c1.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Retry, JitterNeverExceedsMaxBackoff) {
+  // Regression: jitter used to be applied after the max clamp, so an
+  // upward draw could push the wait past max_backoff_seconds.
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 8.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 10.0;
+  policy.jitter_fraction = 0.5;
+  Rng rng(20);
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (int failures = 1; failures <= 5; ++failures) {
+      const double backoff = policy.BackoffSeconds(failures, &rng);
+      ASSERT_LE(backoff, policy.max_backoff_seconds)
+          << "failures=" << failures;
+      ASSERT_GE(backoff, 0.0);
+    }
+  }
+}
+
+TEST(Retry, NoJitterStaysExact) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 5.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 120.0;
+  policy.jitter_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(1), 5.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2), 10.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(6), 120.0);  // capped
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) pool.Submit([&counter] { ++counter; });
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPool, ClampsToOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 10; ++i) pool.Submit([&completed] { ++completed; });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The failure did not wedge the pool or drop the other tasks.
+  EXPECT_EQ(completed.load(), 10);
+  pool.Submit([&completed] { ++completed; });
+  pool.Wait();
+  EXPECT_EQ(completed.load(), 11);
+}
+
+TEST(ThreadPool, HardwareThreadsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(AtomicFile, WritesContent) {
+  const std::string path = ::testing::TempDir() + "/eagle_atomic.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, [](std::ostream& out) {
+    out << "hello";
+    return true;
+  }));
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "hello");
+  // No temp file left behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, FailedWriterLeavesOriginalIntact) {
+  const std::string path = ::testing::TempDir() + "/eagle_atomic_keep.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, [](std::ostream& out) {
+    out << "original";
+    return true;
+  }));
+  EXPECT_FALSE(WriteFileAtomic(path, [](std::ostream& out) {
+    out << "partial garbage";
+    return false;  // simulated serialization failure
+  }));
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "original");
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
 TEST(Args, ParsesAllTypes) {
   ArgParser args("test");
   args.AddInt("samples", 100, "n");
@@ -161,6 +309,13 @@ TEST(Table, RendersAligned) {
   EXPECT_NE(s.find("1.379"), std::string::npos);
 }
 
+TEST(Table, NonFiniteRendersAsNullSentinel) {
+  EXPECT_EQ(Table::Num(std::numeric_limits<double>::infinity()), "n/a");
+  EXPECT_EQ(Table::Num(-std::numeric_limits<double>::infinity()), "n/a");
+  EXPECT_EQ(Table::Num(std::numeric_limits<double>::quiet_NaN()), "n/a");
+  EXPECT_EQ(Table::Num(1.5, 1), "1.5");
+}
+
 TEST(Table, RowWidthChecked) {
   Table t;
   t.SetHeader({"a", "b"});
@@ -199,6 +354,22 @@ TEST(Series, CsvWritten) {
   std::getline(in, row);
   EXPECT_EQ(header, "series,hours,seconds");
   EXPECT_EQ(row, "EAGLE,0.5,1.25");
+  std::remove(path.c_str());
+}
+
+TEST(Series, NonFiniteBecomesEmptyCsvField) {
+  const std::string path = ::testing::TempDir() + "/eagle_series_inf.csv";
+  ASSERT_TRUE(WriteSeriesCsv(
+      path, "hours", "seconds",
+      {{0.5, std::numeric_limits<double>::infinity(), "EAGLE"},
+       {1.0, 2.5, "EAGLE"}}));
+  std::ifstream in(path);
+  std::string header, row1, row2;
+  std::getline(in, header);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  EXPECT_EQ(row1, "EAGLE,0.5,");  // invalid sample: null, not "inf"
+  EXPECT_EQ(row2, "EAGLE,1,2.5");
   std::remove(path.c_str());
 }
 
