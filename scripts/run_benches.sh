@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates every paper table and figure. Usage:
 #   scripts/run_benches.sh [build-dir] [out-dir]
-set -u
+set -euo pipefail
 BUILD=${1:-build}
 OUT=${2:-results}
 mkdir -p "$OUT"

@@ -3,9 +3,15 @@
 #   1. AddressSanitizer + UBSan (memory errors, UB)
 #   2. ThreadSanitizer (data races in the parallel evaluation service)
 # Usage: scripts/run_sanitizers.sh [asan-build-dir] [tsan-build-dir]
-set -eu
+set -euo pipefail
 ASAN_BUILD=${1:-build-asan}
 TSAN_BUILD=${2:-build-tsan}
+
+# Fail fast and loudly: the first sanitizer report aborts the test run
+# instead of scrolling past, so a red run can never print *_CLEAN.
+export ASAN_OPTIONS=halt_on_error=1
+export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
+export TSAN_OPTIONS=halt_on_error=1
 
 cmake -B "$ASAN_BUILD" -S . -DEAGLE_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo

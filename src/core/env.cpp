@@ -23,16 +23,6 @@ void ReadPod(std::istream& in, T& value) {
   EAGLE_CHECK_MSG(in, "truncated environment state");
 }
 
-void WriteCounter(std::ostream& out, const std::atomic<int>& counter) {
-  WritePod(out, counter.load());
-}
-
-void ReadCounter(std::istream& in, std::atomic<int>& counter) {
-  int value = 0;
-  ReadPod(in, value);
-  counter.store(value);
-}
-
 }  // namespace
 
 PlacementEnvironment::PlacementEnvironment(const graph::OpGraph& graph,
@@ -74,7 +64,7 @@ bool PlacementEnvironment::PendingContains(
 EvalTicket PlacementEnvironment::PrepareEvaluation(
     const sim::Placement& placement) {
   std::lock_guard<std::mutex> lock(state_mutex_);
-  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  ++evaluations_;
   EvalTicket ticket;
   if (injector_ != nullptr) {
     // One master-stream draw per evaluation, in dispatch order: the
@@ -94,7 +84,7 @@ EvalTicket PlacementEnvironment::PrepareEvaluation(
       ticket.counted_cache_hit = true;
     }
     if (ticket.counted_cache_hit) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      ++cache_hits_;
     }
     pending_.push_back(PendingEval{hash, placement.devices()});
   }
@@ -205,13 +195,11 @@ void PlacementEnvironment::CommitEvaluation(const sim::Placement& placement,
     }
     if (outcome.insert_clean) cache_.Insert(placement, outcome.clean);
   }
-  attempts_.fetch_add(outcome.attempts, std::memory_order_relaxed);
-  transient_failures_.fetch_add(outcome.transient_failures,
-                                std::memory_order_relaxed);
-  timeouts_.fetch_add(outcome.timeouts, std::memory_order_relaxed);
-  retries_.fetch_add(outcome.retries, std::memory_order_relaxed);
-  exhausted_evaluations_.fetch_add(outcome.exhausted,
-                                   std::memory_order_relaxed);
+  attempts_ += outcome.attempts;
+  transient_failures_ += outcome.transient_failures;
+  timeouts_ += outcome.timeouts;
+  retries_ += outcome.retries;
+  exhausted_evaluations_ += outcome.exhausted;
   // Doubles don't commute bit-exactly: summed here, in commit order, so
   // an N-thread run reports the same total as a serial one.
   backoff_seconds_total_ += outcome.backoff_seconds;
@@ -234,13 +222,13 @@ void PlacementEnvironment::SerializeState(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(state_mutex_);
   const auto rng_state = fault_rng_.state();
   for (std::uint64_t s : rng_state) WritePod(out, s);
-  WriteCounter(out, cache_hits_);
-  WriteCounter(out, evaluations_);
-  WriteCounter(out, attempts_);
-  WriteCounter(out, transient_failures_);
-  WriteCounter(out, timeouts_);
-  WriteCounter(out, retries_);
-  WriteCounter(out, exhausted_evaluations_);
+  WritePod(out, cache_hits_);
+  WritePod(out, evaluations_);
+  WritePod(out, attempts_);
+  WritePod(out, transient_failures_);
+  WritePod(out, timeouts_);
+  WritePod(out, retries_);
+  WritePod(out, exhausted_evaluations_);
   WritePod(out, backoff_seconds_total_);
 }
 
@@ -249,13 +237,13 @@ void PlacementEnvironment::DeserializeState(std::istream& in) {
   std::array<std::uint64_t, 4> rng_state{};
   for (auto& s : rng_state) ReadPod(in, s);
   fault_rng_.set_state(rng_state);
-  ReadCounter(in, cache_hits_);
-  ReadCounter(in, evaluations_);
-  ReadCounter(in, attempts_);
-  ReadCounter(in, transient_failures_);
-  ReadCounter(in, timeouts_);
-  ReadCounter(in, retries_);
-  ReadCounter(in, exhausted_evaluations_);
+  ReadPod(in, cache_hits_);
+  ReadPod(in, evaluations_);
+  ReadPod(in, attempts_);
+  ReadPod(in, transient_failures_);
+  ReadPod(in, timeouts_);
+  ReadPod(in, retries_);
+  ReadPod(in, exhausted_evaluations_);
   ReadPod(in, backoff_seconds_total_);
 }
 

@@ -33,7 +33,6 @@
 // streams in the same order.
 #pragma once
 
-#include <atomic>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -117,16 +116,18 @@ class PlacementEnvironment : public rl::Environment {
   const sim::MeasurementSession& session() const { return session_; }
   const EvalCache& cache() const { return cache_; }
 
-  int cache_hits() const { return cache_hits_.load(); }
-  int evaluations() const { return evaluations_.load(); }
+  int cache_hits() const { return ReadCounter(cache_hits_); }
+  int evaluations() const { return ReadCounter(evaluations_); }
 
   // Robustness counters (all zero when faults are disabled).
-  int attempts() const { return attempts_.load(); }
-  int transient_failures() const { return transient_failures_.load(); }
-  int timeouts() const { return timeouts_.load(); }
-  int retries() const { return retries_.load(); }
+  int attempts() const { return ReadCounter(attempts_); }
+  int transient_failures() const { return ReadCounter(transient_failures_); }
+  int timeouts() const { return ReadCounter(timeouts_); }
+  int retries() const { return ReadCounter(retries_); }
   // Evaluations that exhausted every retry and degraded to the penalty.
-  int exhausted_evaluations() const { return exhausted_evaluations_.load(); }
+  int exhausted_evaluations() const {
+    return ReadCounter(exhausted_evaluations_);
+  }
   double backoff_seconds_total() const;
 
  private:
@@ -137,6 +138,10 @@ class PlacementEnvironment : public rl::Environment {
                                       EvalOutcome* outcome) const;
   bool PendingContains(std::uint64_t hash,
                        const std::vector<sim::DeviceId>& devices) const;
+  int ReadCounter(const int& counter) const {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    return counter;
+  }
 
   const graph::OpGraph* graph_;
   const sim::ClusterSpec* cluster_;
@@ -145,10 +150,11 @@ class PlacementEnvironment : public rl::Environment {
   std::unique_ptr<sim::FaultInjector> injector_;  // null: faults disabled
   double penalty_seconds_ = 0.0;
 
-  // Mutable environment state. The mutex guards the fault stream, the
-  // pending list and the backoff accumulator (Prepare/Commit phases);
-  // the counters are atomic so concurrent direct Evaluate() calls stay
-  // safe, and their totals are order-independent.
+  // Mutable environment state. The mutex guards everything below it:
+  // the fault stream, the pending list, the counters and the backoff
+  // accumulator. Counters are only written inside the serialized
+  // Prepare/Commit phases, so plain ints under the lock suffice — no
+  // atomics needed (eagle-lint rule CC01 keeps it that way).
   mutable std::mutex state_mutex_;
   support::Rng fault_rng_;
   // Placements prepared but not yet committed: a duplicate dispatched in
@@ -160,13 +166,13 @@ class PlacementEnvironment : public rl::Environment {
   };
   std::vector<PendingEval> pending_;
   EvalCache cache_;
-  std::atomic<int> cache_hits_{0};
-  std::atomic<int> evaluations_{0};
-  std::atomic<int> attempts_{0};
-  std::atomic<int> transient_failures_{0};
-  std::atomic<int> timeouts_{0};
-  std::atomic<int> retries_{0};
-  std::atomic<int> exhausted_evaluations_{0};
+  int cache_hits_ = 0;
+  int evaluations_ = 0;
+  int attempts_ = 0;
+  int transient_failures_ = 0;
+  int timeouts_ = 0;
+  int retries_ = 0;
+  int exhausted_evaluations_ = 0;
   double backoff_seconds_total_ = 0.0;  // summed in commit order
 };
 

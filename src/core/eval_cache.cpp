@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/check.h"
+
 namespace eagle::core {
 
 EvalCache::EvalCache(int max_entries) : max_entries_(std::max(0, max_entries)) {
@@ -17,9 +19,10 @@ bool EvalCache::LookupByHash(std::uint64_t hash,
                              sim::EvalResult* out) {
   Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.buckets.find(hash);
-  if (it == shard.buckets.end()) return false;
-  for (Entry& entry : it->second) {
+  const auto it = shard.index.find(hash);
+  if (it == shard.index.end()) return false;
+  for (const std::uint32_t slot : it->second) {
+    Entry& entry = shard.entries[slot];
     if (entry.devices == devices) {
       entry.last_used = ++shard.tick;
       *out = entry.result;
@@ -33,35 +36,44 @@ const sim::EvalResult* EvalCache::FindByHash(
     std::uint64_t hash, const std::vector<sim::DeviceId>& devices) const {
   const Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.buckets.find(hash);
-  if (it == shard.buckets.end()) return nullptr;
-  for (const Entry& entry : it->second) {
+  const auto it = shard.index.find(hash);
+  if (it == shard.index.end()) return nullptr;
+  for (const std::uint32_t slot : it->second) {
+    const Entry& entry = shard.entries[slot];
     if (entry.devices == devices) return &entry.result;
   }
   return nullptr;
 }
 
 void EvalCache::EvictOne(Shard& shard) {
-  auto victim_bucket = shard.buckets.end();
-  std::size_t victim_index = 0;
-  std::uint64_t oldest = 0;
-  bool found = false;
-  for (auto it = shard.buckets.begin(); it != shard.buckets.end(); ++it) {
-    for (std::size_t i = 0; i < it->second.size(); ++i) {
-      const Entry& entry = it->second[i];
-      if (!found || entry.last_used < oldest) {
-        found = true;
-        oldest = entry.last_used;
-        victim_bucket = it;
-        victim_index = i;
-      }
+  if (shard.entries.empty()) return;
+  // Deterministic LRU: walk the flat vector in slot order; ticks are
+  // unique per shard so there is exactly one oldest entry.
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < shard.entries.size(); ++i) {
+    if (shard.entries[i].last_used < shard.entries[victim].last_used) {
+      victim = i;
     }
   }
-  if (!found) return;
-  auto& bucket = victim_bucket->second;
-  bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(victim_index));
-  if (bucket.empty()) shard.buckets.erase(victim_bucket);
-  --shard.size;
+
+  const auto unindex = [&shard](std::uint64_t hash, std::uint32_t slot) {
+    const auto it = shard.index.find(hash);
+    EAGLE_DCHECK(it != shard.index.end());
+    auto& slots = it->second;
+    slots.erase(std::find(slots.begin(), slots.end(), slot));
+    if (slots.empty()) shard.index.erase(it);
+  };
+
+  unindex(shard.entries[victim].hash, static_cast<std::uint32_t>(victim));
+  const std::size_t last = shard.entries.size() - 1;
+  if (victim != last) {
+    // Swap-and-pop: the moved entry changes slot, so re-point its index.
+    auto& slots = shard.index[shard.entries[last].hash];
+    *std::find(slots.begin(), slots.end(), static_cast<std::uint32_t>(last)) =
+        static_cast<std::uint32_t>(victim);
+    shard.entries[victim] = std::move(shard.entries[last]);
+  }
+  shard.entries.pop_back();
   ++shard.evictions;
 }
 
@@ -70,9 +82,10 @@ void EvalCache::InsertByHash(std::uint64_t hash,
                              const sim::EvalResult& result) {
   Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.buckets.find(hash);
-  if (it != shard.buckets.end()) {
-    for (Entry& entry : it->second) {
+  const auto it = shard.index.find(hash);
+  if (it != shard.index.end()) {
+    for (const std::uint32_t slot : it->second) {
+      Entry& entry = shard.entries[slot];
       if (entry.devices == devices) {
         entry.result = result;
         entry.last_used = ++shard.tick;
@@ -81,19 +94,22 @@ void EvalCache::InsertByHash(std::uint64_t hash,
     }
   }
   // Full shard: drop the least-recently-used entry before adding. The
-  // bucket is (re-)resolved afterwards since eviction can erase it.
-  if (shard_capacity_ > 0 && shard.size >= shard_capacity_) EvictOne(shard);
-  auto& bucket = shard.buckets[hash];
-  if (!bucket.empty()) ++shard.collisions;
-  bucket.push_back(Entry{devices, result, ++shard.tick});
-  ++shard.size;
+  // index bucket is re-resolved afterwards since eviction can erase it.
+  if (shard_capacity_ > 0 &&
+      shard.entries.size() >= static_cast<std::size_t>(shard_capacity_)) {
+    EvictOne(shard);
+  }
+  auto& slots = shard.index[hash];
+  if (!slots.empty()) ++shard.collisions;
+  slots.push_back(static_cast<std::uint32_t>(shard.entries.size()));
+  shard.entries.push_back(Entry{hash, devices, result, ++shard.tick});
 }
 
 int EvalCache::size() const {
   int total = 0;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    total += shard.size;
+    total += static_cast<int>(shard.entries.size());
   }
   return total;
 }

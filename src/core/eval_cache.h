@@ -3,7 +3,7 @@
 // Keyed by the placement's 64-bit content hash, but — unlike the plain
 // unordered_map it replaces — each hit verifies the full device vector,
 // so a hash collision can never silently return another placement's
-// EvalResult (it just becomes a second entry in the bucket).
+// EvalResult (it just becomes a second entry under the same hash).
 //
 // Thread-safe via sharded locks: entries are spread over 16 shards, each
 // guarded by its own mutex, so concurrent evaluations (core::EvalService)
@@ -11,6 +11,13 @@
 // optional entry cap with LRU-ish eviction — Lookup/Insert refresh a
 // per-shard recency tick and a full shard evicts its least-recently-used
 // entry — so long fault sweeps no longer grow the cache without limit.
+//
+// Storage layout: each shard keeps its entries in a flat vector with an
+// unordered hash -> slot-list index on the side. All scans (eviction in
+// particular) walk the vector in slot order, so no behavior ever depends
+// on unordered-container iteration order (eagle-lint rule ND02) — ticks
+// are unique per shard, which makes the LRU victim deterministic anyway,
+// but the flat walk keeps even tie-breaking reproducible by construction.
 #pragma once
 
 #include <array>
@@ -52,7 +59,7 @@ class EvalCache {
 
   // Pointer-returning lookup kept for single-threaded callers and tests.
   // The pointer is only valid until the next mutating call (an insert
-  // can evict or reallocate the entry); it does not refresh recency.
+  // can evict or move the entry); it does not refresh recency.
   const sim::EvalResult* Find(const sim::Placement& placement) const {
     return FindByHash(placement.Hash(), placement.devices());
   }
@@ -62,6 +69,7 @@ class EvalCache {
   int size() const;
   int collisions() const;  // inserts that shared a hash with different devices
   int evictions() const;   // entries dropped to respect max_entries
+
   int max_entries() const { return max_entries_; }
 
   // The cap is enforced per shard (ceil(max_entries / kNumShards) each),
@@ -70,15 +78,18 @@ class EvalCache {
 
  private:
   struct Entry {
+    std::uint64_t hash = 0;
     std::vector<sim::DeviceId> devices;
     sim::EvalResult result;
     std::uint64_t last_used = 0;
   };
   struct Shard {
     mutable std::mutex mutex;
-    std::unordered_map<std::uint64_t, std::vector<Entry>> buckets;
+    std::vector<Entry> entries;  // flat storage; scans walk this in order
+    // hash -> slots in `entries` holding that hash (lookup acceleration
+    // only — never iterated as a container).
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
     std::uint64_t tick = 0;  // per-shard recency clock
-    int size = 0;
     int collisions = 0;
     int evictions = 0;
   };
@@ -90,7 +101,9 @@ class EvalCache {
     return shards_[static_cast<std::size_t>(hash) & (kNumShards - 1)];
   }
 
-  // Drops the least-recently-used entry of `shard`. Caller holds the lock.
+  // Drops the least-recently-used entry of `shard` (linear scan over the
+  // flat entry vector; ticks are unique so the victim is unambiguous).
+  // Caller holds the lock.
   static void EvictOne(Shard& shard);
 
   std::array<Shard, kNumShards> shards_;

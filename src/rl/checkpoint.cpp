@@ -15,8 +15,14 @@ namespace {
 // Version 2 added Sample::eval_stream (the per-sample evaluation RNG
 // stream number used by the parallel evaluation path). Writers emit v2;
 // the reader still accepts v1 checkpoints, defaulting eval_stream to 0.
-constexpr char kMagicV1[8] = {'E', 'A', 'G', 'L', 'C', 'K', 'P', '1'};
-constexpr char kMagicV2[8] = {'E', 'A', 'G', 'L', 'C', 'K', 'P', '2'};
+// The version digit in the magic comes from kCheckpointFormatVersion
+// (checkpoint.h) so the tag can never drift from the format constant.
+constexpr char kMagicV1[8] = {
+    'E', 'A', 'G', 'L', 'C', 'K', 'P',
+    static_cast<char>('0' + kCheckpointFormatVersion - 1)};
+constexpr char kMagicV2[8] = {
+    'E', 'A', 'G', 'L', 'C', 'K', 'P',
+    static_cast<char>('0' + kCheckpointFormatVersion)};
 constexpr char kEndMarker[8] = {'E', 'A', 'G', 'L', 'C', 'K', 'P', 'E'};
 
 template <typename T>
@@ -169,9 +175,9 @@ bool LoadCheckpoint(const std::string& path, nn::ParamStore& params,
   EAGLE_CHECK_MSG(in, "bad checkpoint magic in " << path);
   int version = 0;
   if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
-    version = 2;
+    version = kCheckpointFormatVersion;
   } else if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
-    version = 1;
+    version = kCheckpointFormatVersion - 1;
   }
   EAGLE_CHECK_MSG(version != 0, "bad checkpoint magic in " << path);
   nn::LoadParams(params, in);

@@ -28,6 +28,12 @@
 
 namespace eagle::rl {
 
+// Current on-disk checkpoint format. The final byte of the file magic is
+// derived from this constant ('0' + version), so bumping it is the single
+// change that retags newly written checkpoints; the loader keeps accepting
+// the previous version. Bump when the serialized layout changes.
+inline constexpr int kCheckpointFormatVersion = 2;
+
 // Trainer-loop state stored alongside the parameter/optimizer sections.
 struct CheckpointData {
   TrainResult result;                          // progress so far

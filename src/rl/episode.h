@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/grouped_graph.h"
+#include "nn/layers.h"
 #include "nn/tape.h"
 #include "sim/placement.h"
 #include "support/rng.h"

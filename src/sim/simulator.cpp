@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "sim/audit.h"
 #include "support/check.h"
 
 namespace eagle::sim {
@@ -79,6 +80,29 @@ ExecutionSimulator::ExecutionSimulator(const graph::OpGraph& graph,
 
 StepResult ExecutionSimulator::Run(const Placement& placement,
                                    const FaultDraw* faults) const {
+#ifdef EAGLE_AUDIT
+  // Audit builds always record the timeline so every simulated execution
+  // can be verified; the recording is dropped again unless the caller
+  // asked for it, keeping the result shape identical to a release build.
+  StepResult result = RunInternal(placement, faults, /*record_schedule=*/true);
+  const AuditReport audit =
+      AuditSchedule(result, *graph_, *cluster_, placement, options_);
+  EAGLE_CHECK_MSG(audit.ok(), "schedule audit failed:\n" << audit.ToString());
+  if (!options_.record_schedule) {
+    result.schedule.clear();
+    result.schedule.shrink_to_fit();
+    result.transfers.clear();
+    result.transfers.shrink_to_fit();
+  }
+  return result;
+#else
+  return RunInternal(placement, faults, options_.record_schedule);
+#endif
+}
+
+StepResult ExecutionSimulator::RunInternal(const Placement& placement,
+                                           const FaultDraw* faults,
+                                           bool record_schedule) const {
   const graph::OpGraph& g = *graph_;
   const int num_ops = g.num_ops();
   const int num_devices = cluster_->num_devices();
@@ -199,7 +223,7 @@ StepResult ExecutionSimulator::Run(const Placement& placement,
     finish_time[static_cast<std::size_t>(u)] = finish;
     device_free[static_cast<std::size_t>(best_dev)] = finish;
     result.device_busy_seconds[static_cast<std::size_t>(best_dev)] += compute;
-    if (options_.record_schedule) {
+    if (record_schedule) {
       result.schedule.push_back(ScheduledOp{u, best_dev, start, finish});
     }
 
@@ -229,7 +253,7 @@ StepResult ExecutionSimulator::Run(const Placement& placement,
           result.transfer_seconds_total += xfer;
           result.transfer_bytes_total += e.bytes;
           result.num_transfers++;
-          if (options_.record_schedule) {
+          if (record_schedule) {
             result.transfers.push_back(ScheduledTransfer{
                 u, best_dev, dst_dev, e.bytes, xfer_start, arrival});
           }

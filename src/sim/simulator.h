@@ -85,6 +85,8 @@ class ExecutionSimulator {
   // compute times are scaled by its per-device straggler factors and
   // transfer times by its per-channel link degradation (hard faults —
   // crash / device-down — are handled by the measurement layer, not here).
+  // In EAGLE_AUDIT builds every run is audited against the schedule
+  // invariants (sim/audit.h) and aborts via EAGLE_CHECK on a violation.
   StepResult Run(const Placement& placement,
                  const FaultDraw* faults = nullptr) const;
 
@@ -98,6 +100,12 @@ class ExecutionSimulator {
   const CostModel& cost_model() const { return cost_model_; }
 
  private:
+  // The discrete-event loop behind Run(). `record_schedule` overrides
+  // options_.record_schedule so audit builds can always capture the
+  // timeline the auditor verifies.
+  StepResult RunInternal(const Placement& placement, const FaultDraw* faults,
+                         bool record_schedule) const;
+
   const graph::OpGraph* graph_;
   const ClusterSpec* cluster_;
   CostModel cost_model_;

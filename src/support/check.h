@@ -38,7 +38,11 @@ namespace eagle::support {
     }                                                                  \
   } while (0)
 
-#ifdef NDEBUG
+// EAGLE_DCHECK arguments must be side-effect free: in optimized builds the
+// expression is not evaluated at all (enforced by eagle-lint rule DC01).
+// EAGLE_AUDIT builds keep DCHECKs live even under NDEBUG so the audited
+// configurations check everything.
+#if defined(NDEBUG) && !defined(EAGLE_AUDIT)
 #define EAGLE_DCHECK(cond) ((void)0)
 #else
 #define EAGLE_DCHECK(cond) EAGLE_CHECK(cond)

@@ -1,0 +1,11 @@
+// Fixture: CP01 — checkpoint magic embedded without referencing the
+// format-version constant.
+#include <ostream>
+
+namespace fixture {
+
+void WriteHeader(std::ostream& out) {
+  out.write("EAGLCKP9", 8);  // CP01: magic with a hard-coded version digit
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: CC01 — raw concurrency primitives outside the sanctioned
+// layer. Linted by test_lint.cpp under a synthetic src/rl/ path.
+#include <atomic>  // CC01: concurrency header
+#include <mutex>   // CC01: concurrency header
+
+namespace fixture {
+
+std::mutex g_lock;                 // CC01: std::mutex
+std::atomic<int> g_counter{0};     // CC01: std::atomic
+
+int Bump() {
+  std::lock_guard<std::mutex> hold(g_lock);  // CC01 (twice)
+  return g_counter.fetch_add(1);
+}
+
+}  // namespace fixture

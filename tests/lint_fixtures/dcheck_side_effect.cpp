@@ -1,0 +1,17 @@
+// Fixture: DC01 — side effects inside EAGLE_DCHECK (which compiles to
+// (void)0 in Release builds, silently dropping the effect).
+#include <vector>
+
+#define EAGLE_DCHECK(cond) ((void)0)
+
+int Consume(std::vector<int>& queue) {
+  int taken = 0;
+  EAGLE_DCHECK(++taken > 0);            // DC01: increment
+  EAGLE_DCHECK(!queue.empty());         // fine: pure read
+  EAGLE_DCHECK((taken = 1) == 1);       // DC01: assignment
+  return taken;
+}
+
+void Reset(std::vector<int>& queue) {
+  EAGLE_DCHECK((queue.clear(), true));  // DC01: mutating member call
+}

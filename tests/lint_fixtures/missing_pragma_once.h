@@ -1,0 +1,6 @@
+// Fixture: HS01 — header without #pragma once.
+namespace fixture {
+
+inline int Twice(int x) { return 2 * x; }
+
+}  // namespace fixture

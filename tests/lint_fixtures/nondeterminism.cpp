@@ -1,0 +1,28 @@
+// Fixture: ND01 — nondeterminism sources outside the allowlist.
+// Linted by test_lint.cpp under a synthetic src/core/ path.
+#include <cstdlib>
+#include <random>
+
+int SeedFromEntropy() {
+  std::random_device entropy;             // ND01: random_device
+  return static_cast<int>(entropy());
+}
+
+int LegacyRoll() {
+  return rand() % 6;                      // ND01: rand()
+}
+
+double WallClockSeconds() {
+  return static_cast<double>(time(nullptr));  // ND01: time()
+}
+
+const char* ThreadsFromEnv() {
+  return getenv("EAGLE_THREADS");         // ND01: getenv()
+}
+
+// Not a finding: `time` used as a plain identifier, not a call.
+struct Event {
+  double time = 0.0;
+};
+
+double EventTime(const Event& e) { return e.time; }

@@ -1,0 +1,21 @@
+// Fixture: suppression syntax — every violation below carries an
+// eagle-lint allow() comment, so the file must lint clean.
+#include <cstdlib>
+#include <unordered_map>
+
+int SuppressedRoll() {
+  return rand() % 6;  // eagle-lint: allow(ND01) — fixture exercises suppression
+}
+
+int SuppressedSum(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  // eagle-lint: allow(ND02) — the comment line also covers the next line
+  for (const auto& [key, value] : counts) {
+    total += key + value;
+  }
+  return total;
+}
+
+const char* SuppressAll() {
+  return getenv("EAGLE_FIXTURE");  // eagle-lint: allow(all)
+}

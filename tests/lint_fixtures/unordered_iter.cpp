@@ -1,0 +1,27 @@
+// Fixture: ND02 — iteration over unordered containers in ordered-only
+// code. Linted by test_lint.cpp under a synthetic src/core/ path.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int SumValues(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& [name, value] : counts) {  // ND02: range-for
+    total += value + static_cast<int>(name.size());
+  }
+  return total;
+}
+
+std::vector<int> Drain(std::unordered_set<int>& pending) {
+  std::vector<int> out;
+  for (auto it = pending.begin(); it != pending.end(); ++it) {  // ND02
+    out.push_back(*it);
+  }
+  return out;
+}
+
+// Not a finding: point lookups don't depend on iteration order.
+bool Contains(const std::unordered_set<int>& pending, int id) {
+  return pending.find(id) != pending.end();
+}

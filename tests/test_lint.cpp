@@ -1,0 +1,180 @@
+// Self-tests for eagle-lint: every rule must fire on its seeded fixture
+// (tests/lint_fixtures/) with the right id and line, suppressions must
+// silence findings, and the real tree must lint clean.
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/lint/linter.h"
+
+namespace eagle::lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path =
+      std::string(EAGLE_SOURCE_DIR) + "/tests/lint_fixtures/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::set<std::string> RuleIds(const std::vector<Diagnostic>& diags) {
+  std::set<std::string> ids;
+  for (const Diagnostic& d : diags) ids.insert(d.rule);
+  return ids;
+}
+
+std::set<int> Lines(const std::vector<Diagnostic>& diags) {
+  std::set<int> lines;
+  for (const Diagnostic& d : diags) lines.insert(d.line);
+  return lines;
+}
+
+TEST(LintRules, CatalogueIsWellFormed) {
+  const auto& rules = Rules();
+  ASSERT_FALSE(rules.empty());
+  std::set<std::string> ids;
+  for (const RuleInfo& rule : rules) {
+    EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate rule " << rule.id;
+    EXPECT_EQ(rule.severity, "error");
+    EXPECT_FALSE(rule.summary.empty());
+  }
+  EXPECT_EQ(ids, (std::set<std::string>{"ND01", "ND02", "CC01", "DC01",
+                                        "CP01", "HS01"}));
+}
+
+TEST(LintRules, NondeterminismFixtureFires) {
+  const std::string src = ReadFixture("nondeterminism.cpp");
+  const auto diags = LintSource("src/core/fixture.cpp", src);
+  EXPECT_EQ(RuleIds(diags), std::set<std::string>{"ND01"});
+  // random_device, rand(), time(), getenv() — and nothing for the plain
+  // `time` field at the bottom of the fixture.
+  EXPECT_EQ(Lines(diags), (std::set<int>{7, 12, 16, 20}));
+}
+
+TEST(LintRules, NondeterminismAllowlistExempts) {
+  const std::string src = ReadFixture("nondeterminism.cpp");
+  EXPECT_TRUE(LintSource("src/support/thread_pool.cpp", src).empty());
+}
+
+TEST(LintRules, UnorderedIterationFixtureFires) {
+  const std::string src = ReadFixture("unordered_iter.cpp");
+  const auto diags = LintSource("src/core/fixture.cpp", src);
+  EXPECT_EQ(RuleIds(diags), std::set<std::string>{"ND02"});
+  // The range-for and the .begin() walk; the point lookup is fine.
+  EXPECT_EQ(Lines(diags), (std::set<int>{10, 18}));
+}
+
+TEST(LintRules, UnorderedIterationScopedToOrderedLayers) {
+  const std::string src = ReadFixture("unordered_iter.cpp");
+  // Outside src/core, src/rl, src/sim the rule does not apply.
+  EXPECT_TRUE(LintSource("bench/fixture.cpp", src).empty());
+}
+
+TEST(LintRules, UnorderedIterationSeesCompanionHeader) {
+  // Member declared in the header, iterated in the .cpp — the companion
+  // header parameter is what makes this visible (the EvalCache case).
+  const std::string header =
+      "#pragma once\n#include <unordered_map>\n"
+      "struct S { std::unordered_map<int, int> table; };\n";
+  const std::string source =
+      "int Sum(const S& s) {\n"
+      "  int total = 0;\n"
+      "  for (const auto& [k, v] : s.table) total += v;\n"
+      "  return total;\n"
+      "}\n";
+  const auto diags = LintSource("src/core/fixture.cpp", source, header);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "ND02");
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintRules, ConcurrencyFixtureFires) {
+  const std::string src = ReadFixture("concurrency.cpp");
+  const auto diags = LintSource("src/rl/fixture.cpp", src);
+  EXPECT_EQ(RuleIds(diags), std::set<std::string>{"CC01"});
+  // Two headers, the mutex, the atomic, and the lock_guard line.
+  EXPECT_GE(diags.size(), 5u);
+}
+
+TEST(LintRules, ConcurrencyAllowedInSanctionedLayers) {
+  const std::string src = ReadFixture("concurrency.cpp");
+  EXPECT_TRUE(LintSource("src/support/fixture.cpp", src).empty());
+  EXPECT_TRUE(LintSource("src/core/eval_service.cpp", src).empty());
+}
+
+TEST(LintRules, DcheckSideEffectFixtureFires) {
+  const std::string src = ReadFixture("dcheck_side_effect.cpp");
+  const auto diags = LintSource("src/core/fixture.cpp", src);
+  EXPECT_EQ(RuleIds(diags), std::set<std::string>{"DC01"});
+  // ++, assignment, mutating member call; the pure read stays clean.
+  EXPECT_EQ(Lines(diags), (std::set<int>{9, 11, 16}));
+}
+
+TEST(LintRules, CheckpointMagicFixtureFires) {
+  const std::string src = ReadFixture("checkpoint_magic.cpp");
+  const auto diags = LintSource("src/rl/fixture.cpp", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "CP01");
+  EXPECT_EQ(diags[0].line, 8);
+}
+
+TEST(LintRules, CheckpointMagicCleanWithVersionReference) {
+  const std::string src = ReadFixture("checkpoint_magic.cpp") +
+                          "constexpr int kVersionDigit = "
+                          "kCheckpointFormatVersion;\n";
+  EXPECT_TRUE(LintSource("src/rl/fixture.cpp", src).empty());
+}
+
+TEST(LintRules, MissingPragmaOnceFires) {
+  const std::string src = ReadFixture("missing_pragma_once.h");
+  const auto diags = LintSource("src/core/fixture.h", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "HS01");
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(LintRules, PragmaOnceOnlyAppliesToHeaders) {
+  const std::string src = ReadFixture("missing_pragma_once.h");
+  EXPECT_TRUE(LintSource("src/core/fixture.cpp", src).empty());
+}
+
+TEST(LintRules, SuppressionsSilenceFindings) {
+  const std::string src = ReadFixture("suppressed.cpp");
+  const auto diags = LintSource("src/core/fixture.cpp", src);
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostic(diags[0]);
+  // The same file without its suppression comments does flag: strip them
+  // to prove the comments are what silences the findings.
+  std::string stripped = src;
+  std::string::size_type at;
+  while ((at = stripped.find("// eagle-lint:")) != std::string::npos) {
+    stripped.erase(at, stripped.find('\n', at) - at);
+  }
+  EXPECT_FALSE(LintSource("src/core/fixture.cpp", stripped).empty());
+}
+
+TEST(LintRules, FormatDiagnosticIsFileLineParsable) {
+  const std::string src = ReadFixture("nondeterminism.cpp");
+  const auto diags = LintSource("src/core/fixture.cpp", src);
+  ASSERT_FALSE(diags.empty());
+  const std::string line = FormatDiagnostic(diags[0]);
+  EXPECT_EQ(line.rfind("src/core/fixture.cpp:7: error: [ND01]", 0), 0u)
+      << line;
+}
+
+TEST(LintTreeTest, RealTreeIsClean) {
+  const TreeResult result = LintTree(EAGLE_SOURCE_DIR);
+  EXPECT_GT(result.files_scanned, 100);
+  for (const Diagnostic& d : result.diagnostics) {
+    ADD_FAILURE() << FormatDiagnostic(d);
+  }
+}
+
+}  // namespace
+}  // namespace eagle::lint

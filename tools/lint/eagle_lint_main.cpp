@@ -1,0 +1,91 @@
+// eagle-lint CLI.
+//
+//   eagle-lint --root=<repo>     lint the whole tree (src bench tools
+//                                tests examples); exit 1 on any finding
+//   eagle-lint <file>...         lint specific files (paths are used
+//                                as-is for rule scoping)
+//   eagle-lint --list-rules      print the rule catalogue
+//
+// Registered as the `lint_repo` ctest so the tree must stay lint-clean.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "linter.h"
+
+namespace {
+
+int ListRules() {
+  for (const auto& rule : eagle::lint::Rules()) {
+    std::printf("%s  [%s]  %s\n", rule.id.c_str(), rule.severity.c_str(),
+                rule.summary.c_str());
+    for (const auto& scope : rule.scopes) {
+      std::printf("      scope: %s\n", scope.c_str());
+    }
+    for (const auto& allow : rule.allow) {
+      std::printf("      allow: %s\n", allow.c_str());
+    }
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: eagle-lint [--root=DIR | FILE...] [--list-rules]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") return ListRules();
+    if (arg == "--help" || arg == "-h") return Usage();
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (root.empty() && files.empty()) root = ".";
+
+  std::vector<eagle::lint::Diagnostic> diagnostics;
+  int scanned = 0;
+  if (!root.empty()) {
+    const auto result = eagle::lint::LintTree(root);
+    diagnostics = result.diagnostics;
+    scanned = result.files_scanned;
+    if (scanned == 0) {
+      std::fprintf(stderr, "eagle-lint: no sources found under %s\n",
+                   root.c_str());
+      return 2;
+    }
+  }
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "eagle-lint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    auto diags = eagle::lint::LintSource(file, content.str());
+    diagnostics.insert(diagnostics.end(), diags.begin(), diags.end());
+    ++scanned;
+  }
+
+  for (const auto& d : diagnostics) {
+    std::printf("%s\n", eagle::lint::FormatDiagnostic(d).c_str());
+  }
+  std::printf("eagle-lint: %zu finding(s) in %d file(s)\n",
+              diagnostics.size(), scanned);
+  return diagnostics.empty() ? 0 : 1;
+}

@@ -1,0 +1,250 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace eagle::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character operators, longest first (maximal munch).
+const char* const kOperators[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  LexedFile Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        LexPpDirective();
+        continue;
+      }
+      at_line_start_ = false;
+      if (IsIdentStart(c)) {
+        LexIdentifierOrLiteralPrefix();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+        LexNumber();
+        continue;
+      }
+      if (c == '"') {
+        LexString();
+        continue;
+      }
+      if (c == '\'') {
+        LexChar();
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(TokKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void LexLineComment() {
+    const int start_line = line_;
+    pos_ += 2;
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\n') text += src_[pos_++];
+    out_.comments.push_back(Comment{start_line, start_line, std::move(text)});
+  }
+
+  void LexBlockComment() {
+    const int start_line = line_;
+    pos_ += 2;
+    std::string text;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && Peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      text += src_[pos_++];
+    }
+    out_.comments.push_back(Comment{start_line, line_, std::move(text)});
+  }
+
+  // One directive, backslash continuations joined; trailing // comment on
+  // the directive line is recorded so suppressions work there too.
+  void LexPpDirective() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && Peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        text += ' ';
+        continue;
+      }
+      if (c == '\n') break;
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        break;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        text += ' ';
+        continue;
+      }
+      text += c;
+      ++pos_;
+    }
+    Emit(TokKind::kPp, std::move(text), start_line);
+  }
+
+  void LexIdentifierOrLiteralPrefix() {
+    // Raw string literal: R"delim( ... )delim"
+    if (src_[pos_] == 'R' && Peek(1) == '"') {
+      LexRawString();
+      return;
+    }
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) text += src_[pos_++];
+    Emit(TokKind::kIdentifier, std::move(text), start_line);
+  }
+
+  void LexRawString() {
+    const int start_line = line_;
+    pos_ += 2;  // R"
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    if (pos_ < src_.size()) ++pos_;  // (
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    while (pos_ < src_.size() &&
+           src_.compare(pos_, closer.size(), closer) != 0) {
+      if (src_[pos_] == '\n') ++line_;
+      text += src_[pos_++];
+    }
+    pos_ += closer.size();
+    if (pos_ > src_.size()) pos_ = src_.size();
+    Emit(TokKind::kString, std::move(text), start_line);
+  }
+
+  void LexNumber() {
+    const int start_line = line_;
+    std::string text;
+    // Loose scan: digits, hex/bin prefixes, digit separators, exponents.
+    // (No rule inspects numeric values, so precision doesn't matter —
+    // the scan just has to not split "1.5e-9" into pieces.)
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        text += c;
+        ++pos_;
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (Peek(0) == '+' || Peek(0) == '-')) {
+          text += src_[pos_++];
+        }
+        continue;
+      }
+      break;
+    }
+    Emit(TokKind::kNumber, std::move(text), start_line);
+  }
+
+  void LexString() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text += src_[pos_];
+        text += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') ++line_;  // unterminated; keep going
+      text += src_[pos_++];
+    }
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+    Emit(TokKind::kString, std::move(text), start_line);
+  }
+
+  void LexChar() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text += src_[pos_];
+        text += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // unterminated char literal
+      text += src_[pos_++];
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    Emit(TokKind::kChar, std::move(text), start_line);
+  }
+
+  void LexPunct() {
+    for (const char* op : kOperators) {
+      const std::size_t len = std::char_traits<char>::length(op);
+      if (src_.compare(pos_, len, op) == 0) {
+        Emit(TokKind::kPunct, op, line_);
+        pos_ += len;
+        return;
+      }
+    }
+    Emit(TokKind::kPunct, std::string(1, src_[pos_]), line_);
+    ++pos_;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile Lex(const std::string& source) { return Lexer(source).Run(); }
+
+}  // namespace eagle::lint

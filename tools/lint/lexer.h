@@ -1,0 +1,48 @@
+// Minimal C++ lexer for eagle-lint.
+//
+// Produces a flat token stream (comments stripped into a side channel,
+// preprocessor directives folded into single tokens) that the rule
+// engine in linter.cpp pattern-matches against. This is deliberately not
+// a full C++ front end: eagle-lint checks repo conventions (banned
+// identifiers, iteration over unordered containers, macro hygiene), all
+// of which are decidable at token level, and taking a real parser as a
+// dependency would violate the repo's no-external-deps rule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eagle::lint {
+
+enum class TokKind {
+  kIdentifier,  // foo, std, unordered_map
+  kNumber,      // 42, 0x1p-3, 1.5e9
+  kString,      // "..." (text holds the unquoted contents)
+  kChar,        // '...' (text holds the unquoted contents)
+  kPunct,       // operators & punctuation, maximal munch ("::", "->", ...)
+  kPp,          // one whole preprocessor directive, continuations joined
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 1;  // 1-based line of the token's first character
+};
+
+struct Comment {
+  int line = 1;        // line the comment starts on
+  int end_line = 1;    // line the comment ends on (block comments span)
+  std::string text;    // without the // or /* */ markers
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+// Tokenizes C++ source. Never fails: malformed input degrades into
+// punctuation tokens rather than aborting, so the linter can still scan
+// the rest of the file.
+LexedFile Lex(const std::string& source);
+
+}  // namespace eagle::lint

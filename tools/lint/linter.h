@@ -1,0 +1,72 @@
+// eagle-lint: repo-specific determinism / concurrency rule engine.
+//
+// The repo's headline guarantee is bit-identical training output at any
+// --threads count, and every reward the RL agents see comes from the
+// deterministic simulator — so the rules here ban whole *classes* of
+// nondeterminism at the source level instead of hoping a sanitizer run
+// happens to execute the offending path:
+//
+//   ND01  no nondeterminism sources (rand/srand/time()/std::random_device/
+//         getenv/raw wall-clock reads) outside the sanctioned files
+//   ND02  no iteration over std::unordered_map/set in src/core, src/rl,
+//         src/sim — hash-table iteration order is unspecified and has
+//         historically leaked into eviction choices and serialized output
+//   CC01  raw std::mutex/std::thread/std::atomic confined to src/support
+//         and the evaluation-service layer (eval_service/eval_cache/env)
+//   DC01  no side-effecting expressions inside EAGLE_DCHECK (it compiles
+//         to (void)0 in Release, so side effects would vanish there)
+//   CP01  any file embedding the checkpoint magic ("EAGLCKP") must
+//         reference kCheckpointFormatVersion, so magic and version
+//         constant can never drift apart
+//   HS01  every header starts with #pragma once
+//
+// Suppression: a `// eagle-lint: allow(ND02)` comment on the same line
+// (or the line above) waives that rule for that line. Rules, scopes and
+// allowlists are data — see Rules() in linter.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eagle::lint {
+
+struct Diagnostic {
+  std::string rule;     // "ND01", ...
+  std::string file;     // repo-relative path, forward slashes
+  int line = 1;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string severity;              // "error" (reserved: "warning")
+  std::string summary;
+  std::vector<std::string> scopes;   // path prefixes checked (empty: all)
+  std::vector<std::string> allow;    // path prefixes exempted
+};
+
+// The rule catalogue (static data; documented in docs/STATIC_ANALYSIS.md).
+const std::vector<RuleInfo>& Rules();
+
+// Lints one file. `rel_path` (repo-relative, forward slashes) drives rule
+// scoping and allowlists. `companion_header` may hold the source of the
+// matching X.h when linting X.cpp, so unordered-container members
+// declared in the header are tracked when the .cpp iterates them.
+std::vector<Diagnostic> LintSource(const std::string& rel_path,
+                                   const std::string& source,
+                                   const std::string& companion_header = "");
+
+struct TreeResult {
+  std::vector<Diagnostic> diagnostics;
+  int files_scanned = 0;
+};
+
+// Walks src/ bench/ tools/ tests/ examples/ under `root` and lints every
+// C++ file. tests/lint_fixtures/ (seeded violations for the lint
+// self-tests) is excluded.
+TreeResult LintTree(const std::string& root);
+
+// "file:line: severity: [ID] message"
+std::string FormatDiagnostic(const Diagnostic& d);
+
+}  // namespace eagle::lint
