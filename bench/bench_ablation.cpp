@@ -85,5 +85,5 @@ int main(int argc, char** argv) {
   for (auto& row : rows) table.AddRow(std::move(row));
   std::fputs(table.ToString().c_str(), stdout);
   bench::MaybeWriteCsv(table, config, "ablation");
-  return 0;
+  return bench::Finish(config);
 }

@@ -15,7 +15,6 @@
 #pragma once
 
 #include <cmath>
-#include <fstream>
 #include <functional>
 #include <memory>
 #include <sstream>
@@ -32,9 +31,13 @@
 #include "partition/metis_like.h"
 #include "rl/trainer.h"
 #include "support/args.h"
+#include "support/atomic_file.h"
+#include "support/json.h"
 #include "support/log.h"
+#include "support/metrics.h"
 #include "support/stopwatch.h"
 #include "support/table.h"
+#include "support/telemetry.h"
 
 namespace eagle::bench {
 
@@ -55,6 +58,13 @@ struct BenchConfig {
   // resume restores the snapshot and continues.
   std::string checkpoint_dir;
   bool resume = false;
+  // Run telemetry artifacts: --telemetry-out streams one JSON line per
+  // training round (consumed by tools/metrics_report); --profile-out
+  // writes a Chrome-trace profile of the trainer's phase spans on exit
+  // (same viewer as tools/trace_placement schedules). Both are pure
+  // observers — results stay bit-identical with them enabled.
+  std::string telemetry_out;
+  std::string profile_out;
 
   core::AgentDims dims() const {
     return full ? core::AgentDims::PaperScale() : core::AgentDims{};
@@ -79,6 +89,26 @@ inline void AddCommonFlags(support::ArgParser& args, int default_samples) {
                  "directory for crash-safe training checkpoints");
   args.AddBool("resume", false,
                "resume training runs from --checkpoint-dir snapshots");
+  args.AddString("telemetry-out", "",
+                 "JSONL run telemetry path (one line per training round; "
+                 "summarize with metrics_report)");
+  args.AddString("profile-out", "",
+                 "Chrome-trace profile of trainer phase spans (open in "
+                 "Perfetto / chrome://tracing)");
+}
+
+// Benches track artifact-write failures (CSV, history, telemetry,
+// profile) here and exit non-zero through Finish() so a full disk never
+// looks like a successful run.
+inline int& ArtifactFailures() {
+  static int failures = 0;
+  return failures;
+}
+
+inline void ReportArtifactFailure(const std::string& what,
+                                  const std::string& path) {
+  ++ArtifactFailures();
+  EAGLE_LOG(Error) << "failed to write " << what << " to '" << path << "'";
 }
 
 inline BenchConfig ReadCommonFlags(const support::ArgParser& args) {
@@ -108,6 +138,15 @@ inline BenchConfig ReadCommonFlags(const support::ArgParser& args) {
   }
   if (args.GetBool("verbose")) {
     support::SetLogLevel(support::LogLevel::kDebug);
+  }
+  config.telemetry_out = args.GetString("telemetry-out");
+  config.profile_out = args.GetString("profile-out");
+  if (!config.telemetry_out.empty() &&
+      !support::telemetry::OpenRunLog(config.telemetry_out)) {
+    ReportArtifactFailure("telemetry", config.telemetry_out);
+  }
+  if (!config.profile_out.empty()) {
+    support::metrics::EnableProfiling(true);
   }
   return config;
 }
@@ -155,10 +194,57 @@ inline rl::TrainerOptions PaperTrainerOptions(rl::Algorithm algorithm,
   return options;
 }
 
+// Serializes a metrics snapshot (usually a delta) into JSON object
+// members: "counters":{...},"gauges":{...},"histograms":{...}. Round
+// lines keep histograms compact (count/sum); run_end lines carry the
+// full bucket counts so metrics_report can interpolate run-level
+// quantiles.
+inline void AppendSnapshotJson(std::ostringstream& os,
+                               const support::metrics::Snapshot& snap,
+                               bool full_histograms) {
+  namespace json = support::json;
+  os << "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    os << (first ? "" : ",") << "\"" << json::Escape(name) << "\":" << value;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    os << (first ? "" : ",") << "\"" << json::Escape(name)
+       << "\":" << json::Num(value);
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snap.histograms) {
+    os << (first ? "" : ",") << "\"" << json::Escape(name)
+       << "\":{\"count\":" << hist.count << ",\"sum\":" << json::Num(hist.sum);
+    if (full_histograms) {
+      os << ",\"min\":" << json::Num(hist.min)
+         << ",\"max\":" << json::Num(hist.max) << ",\"bounds\":[";
+      for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+        os << (i ? "," : "") << json::Num(hist.bounds[i]);
+      }
+      os << "],\"counts\":[";
+      for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+        os << (i ? "," : "") << hist.counts[i];
+      }
+      os << "]";
+    }
+    os << "}";
+    first = false;
+  }
+  os << "}";
+}
+
 inline rl::TrainResult TrainOnBenchmark(
     rl::PolicyAgent& agent, BenchContext& context, rl::Algorithm algorithm,
     const BenchConfig& config,
     const rl::ProgressCallback& on_progress = nullptr) {
+  namespace json = support::json;
+  namespace telemetry = support::telemetry;
   support::Stopwatch stopwatch;
   auto options = PaperTrainerOptions(algorithm, config.samples, config.seed);
   if (!config.checkpoint_dir.empty()) {
@@ -170,7 +256,66 @@ inline rl::TrainResult TrainOnBenchmark(
   }
   core::EvalService service(*context.env, config.threads);
   options.evaluator = &service;
+
+  // JSONL run telemetry: a run_start header, one line per round (counter
+  // and span-histogram deltas), and a run_end trailer with the full
+  // per-run histogram buckets. Observers only — the callback reads
+  // finished RoundStats and never feeds anything back into training.
+  const std::string model_name = models::BenchmarkName(context.benchmark);
+  const std::string agent_name = agent.name();
+  const std::string algo_name = rl::AlgorithmName(algorithm);
+  std::shared_ptr<support::metrics::Snapshot> run_start_snap;
+  if (telemetry::Enabled()) {
+    run_start_snap = std::make_shared<support::metrics::Snapshot>(
+        support::metrics::TakeSnapshot());
+    auto prev = std::make_shared<support::metrics::Snapshot>(*run_start_snap);
+    std::ostringstream os;
+    os << "{\"event\":\"run_start\",\"model\":\"" << json::Escape(model_name)
+       << "\",\"agent\":\"" << json::Escape(agent_name)
+       << "\",\"algorithm\":\"" << json::Escape(algo_name)
+       << "\",\"samples\":" << options.total_samples
+       << ",\"minibatch\":" << options.minibatch_size
+       << ",\"threads\":" << service.num_threads()
+       << ",\"seed\":" << options.seed << "}";
+    telemetry::WriteLine(os.str());
+    options.on_round = [prev](const rl::RoundStats& stats) {
+      support::metrics::Snapshot now = support::metrics::TakeSnapshot();
+      const support::metrics::Snapshot delta = now.DeltaSince(*prev);
+      *prev = std::move(now);
+      std::ostringstream line;
+      line << "{\"event\":\"round\",\"round\":" << stats.round_index
+           << ",\"samples_in_round\":" << stats.samples_in_round
+           << ",\"total_samples\":" << stats.total_samples
+           << ",\"sim_hours\":" << json::Num(stats.virtual_hours)
+           << ",\"best_per_step_s\":"
+           << json::Num(stats.best_per_step_seconds)
+           << ",\"updated_policy\":"
+           << (stats.updated_policy ? "true" : "false") << ",";
+      AppendSnapshotJson(line, delta, /*full_histograms=*/false);
+      line << "}";
+      telemetry::WriteLine(line.str());
+    };
+  }
+
   auto result = rl::TrainAgent(agent, *context.env, options, on_progress);
+
+  if (telemetry::Enabled() && run_start_snap != nullptr) {
+    const support::metrics::Snapshot delta =
+        support::metrics::TakeSnapshot().DeltaSince(*run_start_snap);
+    std::ostringstream os;
+    os << "{\"event\":\"run_end\",\"model\":\"" << json::Escape(model_name)
+       << "\",\"agent\":\"" << json::Escape(agent_name)
+       << "\",\"algorithm\":\"" << json::Escape(algo_name)
+       << "\",\"total_samples\":" << result.total_samples
+       << ",\"invalid_samples\":" << result.invalid_samples
+       << ",\"sim_hours\":" << json::Num(result.total_virtual_hours)
+       << ",\"best_per_step_s\":" << json::Num(result.best_per_step_seconds)
+       << ",\"best_found_at_hours\":" << json::Num(result.best_found_at_hours)
+       << ",\"wall_seconds\":" << json::Num(stopwatch.ElapsedSeconds()) << ",";
+    AppendSnapshotJson(os, delta, /*full_histograms=*/true);
+    os << "}";
+    telemetry::WriteLine(os.str());
+  }
   EAGLE_LOG(Info) << models::BenchmarkName(context.benchmark) << " / "
                   << agent.name() << " / " << rl::AlgorithmName(algorithm)
                   << ": best "
@@ -229,8 +374,24 @@ inline void MaybeWriteCsv(const support::Table& table,
                           const BenchConfig& config,
                           const std::string& name) {
   if (!config.csv_prefix.empty()) {
-    table.WriteCsv(config.csv_prefix + name + ".csv");
+    const std::string path = config.csv_prefix + name + ".csv";
+    if (!table.WriteCsv(path)) ReportArtifactFailure("CSV", path);
   }
+}
+
+// End-of-run artifact flush: writes the Chrome-trace profile when
+// --profile-out was set, closes the telemetry sink, and folds any write
+// failure (including earlier CSV/history ones) into the process exit
+// code. Benches `return bench::Finish(config);`.
+inline int Finish(const BenchConfig& config) {
+  if (!config.profile_out.empty() &&
+      !support::metrics::WriteProfile(config.profile_out)) {
+    ReportArtifactFailure("profile", config.profile_out);
+  }
+  if (support::telemetry::Enabled() && !support::telemetry::Close()) {
+    ReportArtifactFailure("telemetry", config.telemetry_out);
+  }
+  return ArtifactFailures() == 0 ? 0 : 1;
 }
 
 // Training-history export. Invalid samples carry an infinity sentinel in
@@ -265,33 +426,31 @@ inline std::string HistoryToJson(const std::vector<rl::HistoryPoint>& history) {
 
 inline bool WriteHistoryJson(const std::string& path,
                              const std::vector<rl::HistoryPoint>& history) {
-  std::ofstream out(path);
-  if (!out) {
-    EAGLE_LOG(Warn) << "cannot write history JSON to " << path;
-    return false;
-  }
-  out << HistoryToJson(history);
-  return static_cast<bool>(out);
+  const bool ok = support::WriteFileAtomic(path, [&](std::ostream& out) {
+    out << HistoryToJson(history);
+    return static_cast<bool>(out);
+  });
+  if (!ok) ReportArtifactFailure("history JSON", path);
+  return ok;
 }
 
 inline bool WriteHistoryCsv(const std::string& path,
                             const std::vector<rl::HistoryPoint>& history) {
-  std::ofstream out(path);
-  if (!out) {
-    EAGLE_LOG(Warn) << "cannot write history CSV to " << path;
-    return false;
-  }
-  out << "sample,sim_hours,per_step_s,best_per_step_s\n";
-  for (const rl::HistoryPoint& point : history) {
-    out << point.sample_index << "," << point.virtual_hours << ",";
-    if (std::isfinite(point.per_step_seconds)) out << point.per_step_seconds;
-    out << ",";
-    if (std::isfinite(point.best_so_far_seconds)) {
-      out << point.best_so_far_seconds;
+  const bool ok = support::WriteFileAtomic(path, [&](std::ostream& out) {
+    out << "sample,sim_hours,per_step_s,best_per_step_s\n";
+    for (const rl::HistoryPoint& point : history) {
+      out << point.sample_index << "," << point.virtual_hours << ",";
+      if (std::isfinite(point.per_step_seconds)) out << point.per_step_seconds;
+      out << ",";
+      if (std::isfinite(point.best_so_far_seconds)) {
+        out << point.best_so_far_seconds;
+      }
+      out << "\n";
     }
-    out << "\n";
-  }
-  return static_cast<bool>(out);
+    return static_cast<bool>(out);
+  });
+  if (!ok) ReportArtifactFailure("history CSV", path);
+  return ok;
 }
 
 }  // namespace eagle::bench

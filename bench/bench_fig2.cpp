@@ -57,5 +57,5 @@ int main(int argc, char** argv) {
                         rl::Algorithm::kPpo},
   };
   bench::RunCurves("fig2", models::Benchmark::kBertBase, agents, config);
-  return 0;
+  return bench::Finish(config);
 }

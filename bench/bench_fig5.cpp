@@ -14,5 +14,5 @@ int main(int argc, char** argv) {
   const auto config = bench::ReadCommonFlags(args);
   bench::RunCurves("fig5", models::Benchmark::kInceptionV3,
                    bench::PaperApproaches(), config);
-  return 0;
+  return bench::Finish(config);
 }

@@ -15,5 +15,5 @@ int main(int argc, char** argv) {
   const auto config = bench::ReadCommonFlags(args);
   bench::RunCurves("fig6", models::Benchmark::kGNMT,
                    bench::PaperApproaches(), config);
-  return 0;
+  return bench::Finish(config);
 }

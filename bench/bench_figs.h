@@ -70,10 +70,18 @@ inline void RunCurves(const std::string& figure_name,
   std::fputs(table.ToString().c_str(), stdout);
   MaybeWriteCsv(table, config, figure_name + "_summary");
   if (!config.csv_prefix.empty()) {
-    support::WriteSeriesCsv(config.csv_prefix + figure_name + "_best.csv",
-                            "sim_hours", "best_per_step_s", best_points);
-    support::WriteSeriesCsv(config.csv_prefix + figure_name + "_samples.csv",
-                            "sim_hours", "per_step_s", sample_points);
+    const std::string best_path =
+        config.csv_prefix + figure_name + "_best.csv";
+    if (!support::WriteSeriesCsv(best_path, "sim_hours", "best_per_step_s",
+                                 best_points)) {
+      ReportArtifactFailure("series CSV", best_path);
+    }
+    const std::string samples_path =
+        config.csv_prefix + figure_name + "_samples.csv";
+    if (!support::WriteSeriesCsv(samples_path, "sim_hours", "per_step_s",
+                                 sample_points)) {
+      ReportArtifactFailure("series CSV", samples_path);
+    }
   }
 }
 

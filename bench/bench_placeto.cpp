@@ -52,5 +52,5 @@ int main(int argc, char** argv) {
   }
   std::fputs(table.ToString().c_str(), stdout);
   bench::MaybeWriteCsv(table, config, "placeto");
-  return 0;
+  return bench::Finish(config);
 }

@@ -73,5 +73,5 @@ int main(int argc, char** argv) {
   }
   std::fputs(table.ToString().c_str(), stdout);
   bench::MaybeWriteCsv(table, config, "table1");
-  return 0;
+  return bench::Finish(config);
 }

@@ -35,5 +35,5 @@ int main(int argc, char** argv) {
   }
   std::fputs(table.ToString().c_str(), stdout);
   bench::MaybeWriteCsv(table, config, "table3");
-  return 0;
+  return bench::Finish(config);
 }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# The one-command CI gate, chaining every check the repo ships:
+#   1. configure + build,
+#   2. the tier-1 test suite,
+#   3. static analysis (eagle-lint, header self-containment, audited
+#      tests, clang-tidy when installed — scripts/run_static_analysis.sh),
+#   4. a telemetry smoke run: a tiny bench_fig5 training run with
+#      --telemetry-out / --profile-out must produce JSONL that
+#      tools/metrics_report parses and a Chrome trace containing
+#      trainer-phase spans (see docs/OBSERVABILITY.md).
+# Usage: scripts/run_ci.sh [build-dir]
+set -euo pipefail
+BUILD=${1:-build-ci}
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j
+
+echo "=== tier-1 test suite ==="
+(cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
+echo TESTS_CLEAN
+
+echo "=== static analysis ==="
+scripts/run_static_analysis.sh "$BUILD-audit"
+
+echo "=== telemetry smoke ==="
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+"$BUILD/bench/bench_fig5" --samples=20 --threads=2 \
+  --telemetry-out="$SMOKE/run.jsonl" --profile-out="$SMOKE/profile.json" \
+  --csv="$SMOKE/"
+# The JSONL must cover the whole run and the profile must contain
+# trainer-phase spans (an empty traceEvents array would grep clean on
+# the header alone, so match an actual span name).
+test -s "$SMOKE/run.jsonl"
+grep -q '"event":"run_start"' "$SMOKE/run.jsonl"
+grep -q '"event":"round"' "$SMOKE/run.jsonl"
+grep -q '"event":"run_end"' "$SMOKE/run.jsonl"
+grep -q '"name":"train\.' "$SMOKE/profile.json"
+grep -q '"name":"eval\.' "$SMOKE/profile.json"
+# metrics_report must parse every line and render the summary tables.
+"$BUILD/tools/metrics_report" --in="$SMOKE/run.jsonl" --csv="$SMOKE/report_"
+test -s "$SMOKE/report_runs.csv"
+test -s "$SMOKE/report_phases.csv"
+echo TELEMETRY_SMOKE_CLEAN
+
+echo CI_CLEAN

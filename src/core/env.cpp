@@ -7,10 +7,41 @@
 
 #include "sim/cost_model.h"
 #include "support/check.h"
+#include "support/metrics.h"
 
 namespace eagle::core {
 
 namespace {
+
+// Registry handles resolved once; the objects live for the process, so
+// the raw pointers stay valid. These counters are observers only — the
+// authoritative, checkpointed statistics remain the members guarded by
+// state_mutex_.
+struct EnvMetrics {
+  support::metrics::Counter* evaluations =
+      support::metrics::GetCounter("env.evaluations");
+  support::metrics::Counter* cache_hits =
+      support::metrics::GetCounter("env.cache_hits");
+  support::metrics::Counter* cache_misses =
+      support::metrics::GetCounter("env.cache_misses");
+  support::metrics::Counter* attempts =
+      support::metrics::GetCounter("env.attempts");
+  support::metrics::Counter* transient_failures =
+      support::metrics::GetCounter("env.transient_failures");
+  support::metrics::Counter* timeouts =
+      support::metrics::GetCounter("env.timeouts");
+  support::metrics::Counter* retries =
+      support::metrics::GetCounter("env.retries");
+  support::metrics::Counter* exhausted =
+      support::metrics::GetCounter("env.exhausted_evaluations");
+  support::metrics::Histogram* backoff_seconds =
+      support::metrics::GetHistogram("env.backoff_seconds");
+};
+
+EnvMetrics& Metrics() {
+  static EnvMetrics m;
+  return m;
+}
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -65,6 +96,7 @@ EvalTicket PlacementEnvironment::PrepareEvaluation(
     const sim::Placement& placement) {
   std::lock_guard<std::mutex> lock(state_mutex_);
   ++evaluations_;
+  Metrics().evaluations->Increment();
   EvalTicket ticket;
   if (injector_ != nullptr) {
     // One master-stream draw per evaluation, in dispatch order: the
@@ -85,6 +117,9 @@ EvalTicket PlacementEnvironment::PrepareEvaluation(
     }
     if (ticket.counted_cache_hit) {
       ++cache_hits_;
+      Metrics().cache_hits->Increment();
+    } else {
+      Metrics().cache_misses->Increment();
     }
     pending_.push_back(PendingEval{hash, placement.devices()});
   }
@@ -203,6 +238,15 @@ void PlacementEnvironment::CommitEvaluation(const sim::Placement& placement,
   // Doubles don't commute bit-exactly: summed here, in commit order, so
   // an N-thread run reports the same total as a serial one.
   backoff_seconds_total_ += outcome.backoff_seconds;
+  EnvMetrics& m = Metrics();
+  m.attempts->Increment(outcome.attempts);
+  m.transient_failures->Increment(outcome.transient_failures);
+  m.timeouts->Increment(outcome.timeouts);
+  m.retries->Increment(outcome.retries);
+  m.exhausted->Increment(outcome.exhausted);
+  if (outcome.retries > 0) {
+    m.backoff_seconds->Observe(outcome.backoff_seconds);
+  }
 }
 
 sim::EvalResult PlacementEnvironment::Evaluate(

@@ -1,8 +1,29 @@
 #include "core/eval_service.h"
 
 #include "support/check.h"
+#include "support/metrics.h"
 
 namespace eagle::core {
+
+namespace {
+
+namespace metrics = support::metrics;
+
+// Telemetry observers only: none of these values feed back into tickets,
+// RNG streams or results, so the bit-identity guarantee of EvaluateBatch
+// is unaffected (test_metrics locks this in).
+struct ServiceMetrics {
+  metrics::Histogram* queue_wait =
+      metrics::GetHistogram("eval.queue_wait_seconds");
+  metrics::Gauge* occupancy = metrics::GetGauge("eval.worker_occupancy");
+};
+
+ServiceMetrics& Metrics() {
+  static ServiceMetrics m;
+  return m;
+}
+
+}  // namespace
 
 EvalService::EvalService(PlacementEnvironment& environment, int num_threads)
     : environment_(&environment) {
@@ -20,8 +41,10 @@ int EvalService::num_threads() const {
 std::vector<sim::EvalResult> EvalService::EvaluateBatch(
     const std::vector<sim::Placement>& placements,
     std::vector<support::Rng>& rngs) {
+  EAGLE_SPAN("eval.batch");
   EAGLE_CHECK(placements.size() == rngs.size());
   const std::size_t count = placements.size();
+  const double batch_start = metrics::NowSeconds();
 
   // Phase 1 — dispatch order: split the fault stream and settle cache
   // accounting while the environment is still in its pre-batch state.
@@ -33,20 +56,41 @@ std::vector<sim::EvalResult> EvalService::EvaluateBatch(
 
   // Phase 2 — concurrent: each evaluation touches only its own ticket
   // and RNG. Exceptions propagate out of Wait() after the batch drains.
+  // busy_seconds[i] is written by exactly one worker and read only after
+  // Wait(), so no synchronization beyond the pool barrier is needed.
   std::vector<EvalOutcome> outcomes(count);
+  std::vector<double> busy_seconds(count, 0.0);
+  auto run_ticket = [this, &placements, &tickets, &rngs, &outcomes,
+                     &busy_seconds](std::size_t i, double submitted) {
+    Metrics().queue_wait->Observe(metrics::NowSeconds() - submitted);
+    const double start = metrics::NowSeconds();
+    {
+      EAGLE_SPAN("eval.ticket");
+      outcomes[i] =
+          environment_->EvaluateTicket(placements[i], tickets[i], &rngs[i]);
+    }
+    busy_seconds[i] = metrics::NowSeconds() - start;
+  };
   if (pool_ != nullptr) {
     for (std::size_t i = 0; i < count; ++i) {
-      pool_->Submit([this, &placements, &tickets, &rngs, &outcomes, i] {
-        outcomes[i] = environment_->EvaluateTicket(placements[i], tickets[i],
-                                                   &rngs[i]);
-      });
+      const double submitted = metrics::NowSeconds();
+      pool_->Submit([&run_ticket, i, submitted] { run_ticket(i, submitted); });
     }
     pool_->Wait();
   } else {
     for (std::size_t i = 0; i < count; ++i) {
-      outcomes[i] =
-          environment_->EvaluateTicket(placements[i], tickets[i], &rngs[i]);
+      run_ticket(i, metrics::NowSeconds());
     }
+  }
+
+  // Worker occupancy of this batch: busy worker-seconds over available
+  // worker-seconds. 1.0 means every thread computed the whole time; low
+  // values expose straggler-bound batches.
+  const double wall = metrics::NowSeconds() - batch_start;
+  if (count > 0 && wall > 0.0) {
+    double busy = 0.0;
+    for (double s : busy_seconds) busy += s;
+    Metrics().occupancy->Set(busy / (wall * num_threads()));
   }
 
   // Phase 3 — submission order: replay cache fills and counter updates

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "support/check.h"
+#include "support/metrics.h"
 
 namespace eagle::nn {
 
@@ -12,6 +13,7 @@ Adam::Adam(ParamStore& store, AdamOptions options)
     : store_(&store), options_(options) {}
 
 double Adam::Step() {
+  EAGLE_SPAN("adam.step");
   const double norm = options_.clip_norm > 0
                           ? store_->ClipGradNorm(options_.clip_norm)
                           : store_->GradNorm();

@@ -9,6 +9,7 @@
 #include "rl/checkpoint.h"
 #include "support/check.h"
 #include "support/log.h"
+#include "support/metrics.h"
 
 namespace eagle::rl {
 
@@ -51,6 +52,7 @@ TrainResult TrainAgent(PolicyAgent& agent, Environment& environment,
   int last_snapshot_sample = -1;
   const auto save_snapshot = [&]() {
     if (snapshot_path.empty()) return;
+    EAGLE_SPAN("train.checkpoint");
     CheckpointData data;
     data.result = result;
     data.rng_state = rng.state();
@@ -103,6 +105,9 @@ TrainResult TrainAgent(PolicyAgent& agent, Environment& environment,
   std::uint64_t next_eval_stream =
       static_cast<std::uint64_t>(result.total_samples);
 
+  int round_index = 0;
+  support::metrics::Counter* rounds_counter =
+      support::metrics::GetCounter("train.rounds");
   while (result.total_samples < options.total_samples) {
     if (options.max_virtual_hours > 0.0 &&
         result.total_virtual_hours >= options.max_virtual_hours) {
@@ -121,22 +126,28 @@ TrainResult TrainAgent(PolicyAgent& agent, Environment& environment,
     round.reserve(static_cast<std::size_t>(round_size));
     placements.reserve(static_cast<std::size_t>(round_size));
     eval_rngs.reserve(static_cast<std::size_t>(round_size));
-    for (int i = 0; i < round_size; ++i) {
-      Sample sample = agent.SampleDecision(rng);
-      sample.eval_stream = next_eval_stream++;
-      eval_rngs.push_back(rng.Split(sample.eval_stream));
-      placements.push_back(agent.ToPlacement(sample));
-      round.push_back(std::move(sample));
+    {
+      EAGLE_SPAN("train.sample");
+      for (int i = 0; i < round_size; ++i) {
+        Sample sample = agent.SampleDecision(rng);
+        sample.eval_stream = next_eval_stream++;
+        eval_rngs.push_back(rng.Split(sample.eval_stream));
+        placements.push_back(agent.ToPlacement(sample));
+        round.push_back(std::move(sample));
+      }
     }
 
     std::vector<sim::EvalResult> evals;
-    if (options.evaluator != nullptr) {
-      evals = options.evaluator->EvaluateBatch(placements, eval_rngs);
-      EAGLE_CHECK(evals.size() == round.size());
-    } else {
-      evals.reserve(round.size());
-      for (std::size_t i = 0; i < round.size(); ++i) {
-        evals.push_back(environment.Evaluate(placements[i], &eval_rngs[i]));
+    {
+      EAGLE_SPAN("train.eval");
+      if (options.evaluator != nullptr) {
+        evals = options.evaluator->EvaluateBatch(placements, eval_rngs);
+        EAGLE_CHECK(evals.size() == round.size());
+      } else {
+        evals.reserve(round.size());
+        for (std::size_t i = 0; i < round.size(); ++i) {
+          evals.push_back(environment.Evaluate(placements[i], &eval_rngs[i]));
+        }
       }
     }
 
@@ -144,6 +155,9 @@ TrainResult TrainAgent(PolicyAgent& agent, Environment& environment,
     // what the serial one-sample loop did, keeping history, best-so-far
     // and the EMA baseline bit-identical at any thread count.
     bool budget_exhausted = false;
+    int samples_this_round = 0;
+    {
+    EAGLE_SPAN("train.reduce");
     for (std::size_t i = 0; i < round.size(); ++i) {
       Sample& sample = round[i];
       const sim::EvalResult& eval = evals[i];
@@ -183,6 +197,7 @@ TrainResult TrainAgent(PolicyAgent& agent, Environment& environment,
 
       batch.push_back(std::move(sample));
       ++since_ce;
+      ++samples_this_round;
 
       if (options.max_virtual_hours > 0.0 &&
           result.total_virtual_hours >= options.max_virtual_hours) {
@@ -193,8 +208,13 @@ TrainResult TrainAgent(PolicyAgent& agent, Environment& environment,
         break;
       }
     }
+    }  // span train.reduce
 
+    bool updated_policy = false;
     if (static_cast<int>(batch.size()) >= options.minibatch_size) {
+      updated_policy = true;
+      {
+      EAGLE_SPAN("train.update");
       if (critic != nullptr) critic->Update(batch);
       switch (options.algorithm) {
         case Algorithm::kReinforce:
@@ -217,12 +237,26 @@ TrainResult TrainAgent(PolicyAgent& agent, Environment& environment,
         }
       }
       batch.clear();
+      }  // span train.update
       if (options.checkpoint_interval > 0 &&
           result.total_samples - last_snapshot_sample >=
               options.checkpoint_interval) {
         save_snapshot();
       }
     }
+
+    rounds_counter->Increment();
+    if (options.on_round) {
+      RoundStats stats;
+      stats.round_index = round_index;
+      stats.samples_in_round = samples_this_round;
+      stats.total_samples = result.total_samples;
+      stats.virtual_hours = result.total_virtual_hours;
+      stats.best_per_step_seconds = result.best_per_step_seconds;
+      stats.updated_policy = updated_policy;
+      options.on_round(stats);
+    }
+    ++round_index;
     if (budget_exhausted) break;
   }
   if (result.total_samples != last_snapshot_sample) save_snapshot();

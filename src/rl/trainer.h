@@ -74,6 +74,18 @@ const char* AlgorithmName(Algorithm algorithm);
 // placement sample rates (kept for the baseline-comparison bench).
 enum class BaselineKind { kEma, kValueNetwork };
 
+// Per-round digest handed to TrainerOptions::on_round.
+struct RoundStats {
+  int round_index = 0;         // 0-based round counter for this run
+  int samples_in_round = 0;    // counted samples (post budget cut)
+  int total_samples = 0;       // cumulative, after this round
+  double virtual_hours = 0.0;  // cumulative virtual clock
+  double best_per_step_seconds = std::numeric_limits<double>::infinity();
+  bool updated_policy = false;  // did this round trigger an agent update?
+};
+
+using RoundCallback = std::function<void(const RoundStats&)>;
+
 struct TrainerOptions {
   Algorithm algorithm = Algorithm::kPpo;
   int total_samples = 300;
@@ -113,6 +125,12 @@ struct TrainerOptions {
   std::string checkpoint_name = "trainer";
   int checkpoint_interval = 50;
   bool resume = false;
+  // Telemetry hook invoked once per round, after the round's reduction
+  // (and agent update, if the minibatch filled). Pure observer: the
+  // callback sees a finished RoundStats digest and cannot alter the run,
+  // so enabling it keeps training bit-identical. Benches use it to emit
+  // one JSONL line per round (--telemetry-out).
+  RoundCallback on_round;
 };
 
 struct HistoryPoint {

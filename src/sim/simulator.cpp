@@ -7,6 +7,7 @@
 
 #include "sim/audit.h"
 #include "support/check.h"
+#include "support/metrics.h"
 
 namespace eagle::sim {
 
@@ -28,6 +29,19 @@ struct ReadyOp {
 
 using ReadyQueue =
     std::priority_queue<ReadyOp, std::vector<ReadyOp>, std::greater<ReadyOp>>;
+
+// Telemetry observers: run/event totals for the metrics registry. The
+// simulator's own results never read these back.
+struct SimMetrics {
+  support::metrics::Counter* runs = support::metrics::GetCounter("sim.runs");
+  support::metrics::Counter* events =
+      support::metrics::GetCounter("sim.events");
+};
+
+SimMetrics& Metrics() {
+  static SimMetrics m;
+  return m;
+}
 
 }  // namespace
 
@@ -85,9 +99,12 @@ StepResult ExecutionSimulator::Run(const Placement& placement,
   // can be verified; the recording is dropped again unless the caller
   // asked for it, keeping the result shape identical to a release build.
   StepResult result = RunInternal(placement, faults, /*record_schedule=*/true);
-  const AuditReport audit =
-      AuditSchedule(result, *graph_, *cluster_, placement, options_);
-  EAGLE_CHECK_MSG(audit.ok(), "schedule audit failed:\n" << audit.ToString());
+  {
+    EAGLE_SPAN("sim.audit");
+    const AuditReport audit =
+        AuditSchedule(result, *graph_, *cluster_, placement, options_);
+    EAGLE_CHECK_MSG(audit.ok(), "schedule audit failed:\n" << audit.ToString());
+  }
   if (!options_.record_schedule) {
     result.schedule.clear();
     result.schedule.shrink_to_fit();
@@ -306,6 +323,9 @@ StepResult ExecutionSimulator::RunInternal(const Placement& placement,
       }
     }
   }
+  Metrics().runs->Increment();
+  // Every scheduled op and every physical transfer is one simulated event.
+  Metrics().events->Increment(scheduled + result.num_transfers);
   return result;
 }
 

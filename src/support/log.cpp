@@ -1,13 +1,16 @@
 #include "support/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+
+#include "support/metrics.h"
 
 namespace eagle::support {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,15 +26,55 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash ? slash + 1 : path;
 }
+
+// Initial level: EAGLE_LOG_LEVEL when set and parseable, else Info. The
+// getenv read is sanctioned here (eagle-lint ND01 allowlist): logging
+// verbosity is observability config, and it can never reach RNG streams
+// or results.
+int InitialLevel() {
+  const char* env = std::getenv("EAGLE_LOG_LEVEL");
+  const LogLevel level =
+      env == nullptr ? LogLevel::kInfo
+                     : LogLevelFromString(env, LogLevel::kInfo);
+  return static_cast<int>(level);
+}
+
+std::atomic<int> g_level{InitialLevel()};
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
+LogLevel LogLevelFromString(const std::string& text, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return fallback;
+}
+
+std::string FormatLogPrefix(LogLevel level, const char* file, int line,
+                            double elapsed_seconds, int thread_tag) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "[%9.3fs T%d %s %s:%d] ", elapsed_seconds,
+                thread_tag, LevelName(level), Basename(file), line);
+  return buf;
+}
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >= g_level.load()), level_(level) {
-  if (enabled_) os_ << "[" << LevelName(level) << " " << Basename(file) << ":"
-                    << line << "] ";
+  if (enabled_) {
+    os_ << FormatLogPrefix(level, file, line, metrics::NowSeconds(),
+                           metrics::CurrentThreadTag());
+  }
 }
 
 LogMessage::~LogMessage() {

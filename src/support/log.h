@@ -1,7 +1,16 @@
 // Minimal leveled logger writing to stderr.
 //
 // Usage: EAGLE_LOG(INFO) << "trained " << n << " steps";
-// Level is a process-wide setting; benches set it from --verbose.
+// Level is a process-wide setting; benches set it from --verbose, and the
+// EAGLE_LOG_LEVEL environment variable (debug|info|warn|error or 0-3)
+// picks the *initial* level so parallel-worker logs can be turned on
+// without editing a bench invocation. Explicit SetLogLevel calls still
+// win over the environment.
+//
+// Every line carries an elapsed-time + thread-tag prefix
+// ("[  12.345s T3 INFO env.cpp:42]") so interleaved EvalService worker
+// logs stay attributable; the tags and the clock are shared with
+// support::metrics, so log lines line up with profiler spans.
 #pragma once
 
 #include <sstream>
@@ -14,6 +23,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 // Process-wide minimum level; messages below it are dropped.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses a level name ("debug", "INFO", "2", ...); falls back to
+// `fallback` on anything unrecognized. Used for EAGLE_LOG_LEVEL.
+LogLevel LogLevelFromString(const std::string& text, LogLevel fallback);
+
+// The prefix LogMessage emits, exposed for tests:
+// "[<elapsed>s T<tag> <LEVEL> <file>:<line>] ".
+std::string FormatLogPrefix(LogLevel level, const char* file, int line,
+                            double elapsed_seconds, int thread_tag);
 
 // RAII message builder; flushes on destruction.
 class LogMessage {

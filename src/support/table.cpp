@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <map>
+#include <ostream>
 #include <sstream>
 
+#include "support/atomic_file.h"
 #include "support/check.h"
 #include "support/log.h"
 
@@ -81,43 +82,39 @@ std::string CsvEscape(const std::string& s) {
 }  // namespace
 
 bool Table::WriteCsv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    EAGLE_LOG(Warn) << "cannot write CSV to " << path;
-    return false;
-  }
-  auto line = [&](const std::vector<std::string>& row) {
-    for (std::size_t i = 0; i < row.size(); ++i) {
-      if (i) out << ",";
-      out << CsvEscape(row[i]);
-    }
-    out << "\n";
-  };
-  if (!header_.empty()) line(header_);
-  for (const auto& r : rows_) line(r);
-  return static_cast<bool>(out);
+  // Atomic write: a full or unwritable disk leaves the previous file (or
+  // nothing) rather than a silently truncated CSV.
+  return WriteFileAtomic(path, [&](std::ostream& out) -> bool {
+    auto line = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i) out << ",";
+        out << CsvEscape(row[i]);
+      }
+      out << "\n";
+    };
+    if (!header_.empty()) line(header_);
+    for (const auto& r : rows_) line(r);
+    return static_cast<bool>(out);
+  });
 }
 
 bool WriteSeriesCsv(const std::string& path, const std::string& x_name,
                     const std::string& y_name,
                     const std::vector<SeriesPoint>& points) {
-  std::ofstream out(path);
-  if (!out) {
-    EAGLE_LOG(Warn) << "cannot write CSV to " << path;
-    return false;
-  }
-  out << "series," << x_name << "," << y_name << "\n";
-  for (const auto& p : points) {
-    // Non-finite values (e.g. the infinity marking an invalid sample)
-    // become an empty field — CSV's null — instead of "inf", which most
-    // consumers reject.
-    out << CsvEscape(p.series) << ",";
-    if (std::isfinite(p.x)) out << p.x;
-    out << ",";
-    if (std::isfinite(p.y)) out << p.y;
-    out << "\n";
-  }
-  return static_cast<bool>(out);
+  return WriteFileAtomic(path, [&](std::ostream& out) -> bool {
+    out << "series," << x_name << "," << y_name << "\n";
+    for (const auto& p : points) {
+      // Non-finite values (e.g. the infinity marking an invalid sample)
+      // become an empty field — CSV's null — instead of "inf", which most
+      // consumers reject.
+      out << CsvEscape(p.series) << ",";
+      if (std::isfinite(p.x)) out << p.x;
+      out << ",";
+      if (std::isfinite(p.y)) out << p.y;
+      out << "\n";
+    }
+    return static_cast<bool>(out);
+  });
 }
 
 std::string RenderAsciiSeries(const std::vector<SeriesPoint>& points,

@@ -1,0 +1,78 @@
+#include "support/telemetry.h"
+
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "support/log.h"
+
+namespace eagle::support::telemetry {
+
+namespace {
+
+struct Sink {
+  std::mutex mutex;
+  std::unique_ptr<std::ofstream> out;
+  std::string path;
+  bool write_failed = false;
+};
+
+Sink& GetSink() {
+  static Sink* sink = new Sink();
+  return *sink;
+}
+
+}  // namespace
+
+bool OpenRunLog(const std::string& path) {
+  Sink& sink = GetSink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  sink.out = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  sink.path = path;
+  sink.write_failed = false;
+  if (!*sink.out) {
+    EAGLE_LOG(Error) << "cannot open telemetry sink " << path;
+    sink.out.reset();
+    sink.write_failed = true;
+    return false;
+  }
+  return true;
+}
+
+bool Enabled() {
+  Sink& sink = GetSink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  return sink.out != nullptr;
+}
+
+const std::string& Path() {
+  Sink& sink = GetSink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  return sink.path;
+}
+
+void WriteLine(const std::string& json_object) {
+  Sink& sink = GetSink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  if (sink.out == nullptr) return;
+  *sink.out << json_object << '\n';
+  sink.out->flush();
+  if (!*sink.out && !sink.write_failed) {
+    sink.write_failed = true;
+    EAGLE_LOG(Error) << "telemetry write to " << sink.path
+                     << " failed (disk full?)";
+  }
+}
+
+bool Close() {
+  Sink& sink = GetSink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  if (sink.out != nullptr) {
+    sink.out->flush();
+    if (!*sink.out) sink.write_failed = true;
+    sink.out.reset();
+  }
+  return !sink.write_failed;
+}
+
+}  // namespace eagle::support::telemetry

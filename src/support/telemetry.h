@@ -1,0 +1,34 @@
+// Process-wide JSONL run-telemetry sink (the --telemetry-out artifact).
+//
+// One structured JSON object per line, appended and flushed as training
+// progresses so a killed run still leaves a parseable prefix (unlike the
+// end-of-run artifacts, which go through support::WriteFileAtomic). The
+// bench layer opens the sink once; rl::TrainAgent's round callback and
+// the bench drivers write lines; tools/metrics_report consumes the file.
+//
+// Telemetry is a pure observer: nothing reads it back into the run, so a
+// training run with the sink open is bit-identical to one without it.
+#pragma once
+
+#include <string>
+
+namespace eagle::support::telemetry {
+
+// Opens (truncates) the process-wide sink. Returns false after logging if
+// the file cannot be created. Reopening closes the previous sink first.
+bool OpenRunLog(const std::string& path);
+
+bool Enabled();
+const std::string& Path();
+
+// Appends one JSONL line (the terminating '\n' is added here) and
+// flushes. Thread-safe; a no-op when the sink is closed. Write errors are
+// latched and reported by Close().
+void WriteLine(const std::string& json_object);
+
+// Closes the sink. Returns false if any write (or the close itself)
+// failed since OpenRunLog — callers turn that into a non-zero exit so a
+// full disk never yields a silently truncated telemetry file.
+bool Close();
+
+}  // namespace eagle::support::telemetry

@@ -1,0 +1,19 @@
+// WC01 fixture: raw Stopwatch wall-clock reads in hot-path code. Only
+// the standalone identifier fires; member access spelled Stopwatch and
+// the word in comments stay clean.
+#include "support/stopwatch.h"
+
+namespace fixture {
+
+double TimeOneRound() {
+  eagle::support::Stopwatch watch;  // line 9: WC01
+  return watch.ElapsedSeconds();
+}
+
+// A Stopwatch mention in prose never fires, and neither does member
+// access on some unrelated API.
+int ReadField(Harness& h) {
+  return h.Stopwatch + h.timers->Stopwatch;
+}
+
+}  // namespace fixture

@@ -46,7 +46,7 @@ TEST(LintRules, CatalogueIsWellFormed) {
     EXPECT_FALSE(rule.summary.empty());
   }
   EXPECT_EQ(ids, (std::set<std::string>{"ND01", "ND02", "CC01", "DC01",
-                                        "CP01", "HS01"}));
+                                        "CP01", "HS01", "WC01"}));
 }
 
 TEST(LintRules, NondeterminismFixtureFires) {
@@ -143,6 +143,24 @@ TEST(LintRules, MissingPragmaOnceFires) {
 TEST(LintRules, PragmaOnceOnlyAppliesToHeaders) {
   const std::string src = ReadFixture("missing_pragma_once.h");
   EXPECT_TRUE(LintSource("src/core/fixture.cpp", src).empty());
+}
+
+TEST(LintRules, WallClockFixtureFires) {
+  const std::string src = ReadFixture("wall_clock.cpp");
+  const auto diags = LintSource("src/rl/fixture.cpp", src);
+  EXPECT_EQ(RuleIds(diags), std::set<std::string>{"WC01"});
+  // Only the standalone Stopwatch declaration; the member accesses and
+  // comment mentions at the bottom of the fixture stay clean.
+  EXPECT_EQ(Lines(diags), (std::set<int>{9}));
+}
+
+TEST(LintRules, WallClockConfinedToSupportAndSinks) {
+  const std::string src = ReadFixture("wall_clock.cpp");
+  // src/support owns the clock; bench/ and tools/ are telemetry sinks
+  // outside the rule's scope.
+  EXPECT_TRUE(LintSource("src/support/metrics.cpp", src).empty());
+  EXPECT_TRUE(LintSource("bench/fixture.cpp", src).empty());
+  EXPECT_TRUE(LintSource("tools/fixture.cpp", src).empty());
 }
 
 TEST(LintRules, SuppressionsSilenceFindings) {

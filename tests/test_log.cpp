@@ -33,6 +33,31 @@ TEST(Log, SuppressedMessagesDoNotCrash) {
   SUCCEED();
 }
 
+TEST(Log, LevelFromStringParsesNamesAndDigits) {
+  EXPECT_EQ(LogLevelFromString("debug", LogLevel::kError), LogLevel::kDebug);
+  EXPECT_EQ(LogLevelFromString("INFO", LogLevel::kError), LogLevel::kInfo);
+  EXPECT_EQ(LogLevelFromString("Warn", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(LogLevelFromString("warning", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(LogLevelFromString("error", LogLevel::kInfo), LogLevel::kError);
+  EXPECT_EQ(LogLevelFromString("0", LogLevel::kError), LogLevel::kDebug);
+  EXPECT_EQ(LogLevelFromString("2", LogLevel::kError), LogLevel::kWarn);
+  // Unrecognized text falls back rather than guessing.
+  EXPECT_EQ(LogLevelFromString("bogus", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(LogLevelFromString("", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(LogLevelFromString("4", LogLevel::kDebug), LogLevel::kDebug);
+}
+
+TEST(Log, PrefixCarriesElapsedTimeThreadTagAndLocation) {
+  EXPECT_EQ(FormatLogPrefix(LogLevel::kInfo, "env.cpp", 42, 12.3456, 3),
+            "[   12.346s T3 INFO env.cpp:42] ");
+  EXPECT_EQ(FormatLogPrefix(LogLevel::kError, "trainer.cpp", 7, 0.0, 0),
+            "[    0.000s T0 ERROR trainer.cpp:7] ");
+  // __FILE__ paths are reduced to their basename.
+  EXPECT_EQ(FormatLogPrefix(LogLevel::kWarn, "/root/repo/src/core/env.cpp",
+                            10, 1.0, 1),
+            "[    1.000s T1 WARN env.cpp:10] ");
+}
+
 TEST(Log, StreamsArbitraryTypes) {
   LogLevelGuard guard;
   SetLogLevel(LogLevel::kError);  // keep test output clean

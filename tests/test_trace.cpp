@@ -126,6 +126,51 @@ TEST(CriticalPath, CrossDeviceChainSeesTransfers) {
             result.step_seconds * 0.9);
 }
 
+// Hand-built two-device schedule with known numbers, so each of the three
+// attribution components is pinned exactly rather than bounded:
+//
+//   device 0: A computes [0, 1]        A --(transfer [1.0, 1.5])--> C
+//   device 1: D computes [0, 2], then C computes [2, 3]
+//
+// C is the sink (finishes last). Its input from A arrives at 1.5 but the
+// device is busy with D until 2.0, so the walk attributes 0.5 s of
+// queueing and 0.5 s of transfer; compute is A + C = 2.0 s. All three
+// components sum to the 3.0 s step.
+TEST(CriticalPath, HandBuiltScheduleAttributesExactComponents) {
+  graph::OpGraph graph;
+  auto add_op = [&graph](const std::string& name) {
+    graph::OpDef op;
+    op.name = name;
+    return graph.AddOp(op);
+  };
+  const graph::OpId a = add_op("A");
+  const graph::OpId d = add_op("D");
+  const graph::OpId c = add_op("C");
+  graph.AddEdge(a, c, /*bytes=*/1 << 10);
+
+  StepResult result;
+  result.step_seconds = 3.0;
+  result.schedule.push_back(ScheduledOp{a, /*device=*/0, 0.0, 1.0});
+  result.schedule.push_back(ScheduledOp{d, /*device=*/1, 0.0, 2.0});
+  result.schedule.push_back(ScheduledOp{c, /*device=*/1, 2.0, 3.0});
+  result.transfers.push_back(
+      ScheduledTransfer{a, /*src=*/0, /*dst=*/1, 1 << 10, 1.0, 1.5});
+
+  const auto report = AnalyzeCriticalPath(result, graph);
+  // Path is reported sink-first; the busy-but-off-path D is not on it.
+  EXPECT_EQ(report.path, (std::vector<graph::OpId>{c, a}));
+  EXPECT_EQ(report.compute_seconds, 2.0);
+  EXPECT_EQ(report.transfer_seconds, 0.5);
+  EXPECT_EQ(report.queue_seconds, 0.5);
+  EXPECT_EQ(report.compute_seconds + report.transfer_seconds +
+                report.queue_seconds,
+            result.step_seconds);
+
+  const std::string text = report.ToString(graph);
+  EXPECT_NE(text.find("2 ops"), std::string::npos);
+  EXPECT_NE(text.find("sink op C"), std::string::npos);
+}
+
 TEST(CriticalPath, EmptyScheduleHandled) {
   graph::OpGraph empty;
   StepResult result;

@@ -32,7 +32,10 @@ std::vector<RuleInfo> MakeRules() {
       "nondeterminism source (libc PRNG, wall clock, environment) outside "
       "the sanctioned files",
       {},
-      {"src/support/stopwatch.h", "src/support/thread_pool.cpp"}});
+      // log.cpp reads EAGLE_LOG_LEVEL (observability config that can
+      // never reach RNG streams or results).
+      {"src/support/stopwatch.h", "src/support/thread_pool.cpp",
+       "src/support/log.cpp"}});
   rules.push_back(RuleInfo{
       "ND02", "error",
       "iteration over std::unordered_map/std::unordered_set where order "
@@ -59,6 +62,15 @@ std::vector<RuleInfo> MakeRules() {
       {}});
   rules.push_back(RuleInfo{
       "HS01", "error", "header missing #pragma once", {}, {}});
+  rules.push_back(RuleInfo{
+      "WC01", "error",
+      "raw support::Stopwatch wall-clock read in hot-path code — time "
+      "phases through EAGLE_SPAN / support::metrics, which keep wall "
+      "clock confined to telemetry sinks",
+      // bench/ and tools/ are telemetry sinks (they report wall time);
+      // src/ and examples/ must observe time only through spans.
+      {"src/", "examples/"},
+      {"src/support/"}});
   return rules;
 }
 
@@ -459,6 +471,22 @@ void CheckCheckpointMagic(const Tokens& toks, const std::string& path,
   }
 }
 
+void CheckWallClock(const Tokens& toks, const std::string& path,
+                    std::vector<Diagnostic>* out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "Stopwatch")) continue;
+    // Member access `x.Stopwatch` / `x->Stopwatch` is some other API.
+    if (i >= 1 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"))) {
+      continue;
+    }
+    out->push_back(Diagnostic{
+        "WC01", path, toks[i].line,
+        "raw wall-clock read via 'Stopwatch' — hot-path code must time "
+        "itself through EAGLE_SPAN / support::metrics so wall clock stays "
+        "an observer (bit-identity at any --threads)"});
+  }
+}
+
 void CheckPragmaOnce(const Tokens& toks, const std::string& path,
                      std::vector<Diagnostic>* out) {
   if (!IsHeaderPath(path)) return;
@@ -510,6 +538,8 @@ std::vector<Diagnostic> LintSource(const std::string& rel_path,
       CheckCheckpointMagic(lexed.tokens, rel_path, &raw);
     } else if (rule.id == "HS01") {
       CheckPragmaOnce(lexed.tokens, rel_path, &raw);
+    } else if (rule.id == "WC01") {
+      CheckWallClock(lexed.tokens, rel_path, &raw);
     }
   }
 

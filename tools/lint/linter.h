@@ -19,6 +19,10 @@
 //         reference kCheckpointFormatVersion, so magic and version
 //         constant can never drift apart
 //   HS01  every header starts with #pragma once
+//   WC01  raw support::Stopwatch reads confined to src/support — hot-path
+//         code (src/, examples/) times itself through EAGLE_SPAN /
+//         support::metrics so wall clock stays a telemetry observer;
+//         bench/ and tools/ are reporting sinks and exempt
 //
 // Suppression: a `// eagle-lint: allow(ND02)` comment on the same line
 // (or the line above) waives that rule for that line. Rules, scopes and

@@ -9,7 +9,7 @@
 // Policies: single (one GPU), expert (the paper's human-expert layout),
 // balanced (METIS groups round-robined over the GPUs), random.
 #include <cstdio>
-#include <fstream>
+#include <ostream>
 
 #include "core/expert_policies.h"
 #include "graph/grouped_graph.h"
@@ -18,6 +18,7 @@
 #include "sim/fault.h"
 #include "sim/trace.h"
 #include "support/args.h"
+#include "support/atomic_file.h"
 #include "support/rng.h"
 
 using namespace eagle;
@@ -117,17 +118,36 @@ int main(int argc, char** argv) {
   std::printf("%s\n", result.ToString(cluster).c_str());
   if (result.oom) return 1;
 
+  // ToChromeTrace aborts (EAGLE_CHECK) on a schedule-less result; a tool
+  // user should get a diagnostic and an exit code instead. This happens
+  // when the simulated graph has ops but recording was disabled or the
+  // run produced no timeline.
+  if (result.schedule.empty() && graph.num_ops() > 0) {
+    std::fprintf(stderr,
+                 "trace_placement: the simulator returned no recorded "
+                 "schedule for '%s' (%d ops) — nothing to export.\n"
+                 "This usually means schedule recording was disabled; "
+                 "rerun with a build where SimulatorOptions::"
+                 "record_schedule is honored.\n",
+                 args.GetString("model").c_str(), graph.num_ops());
+    return 2;
+  }
+
   const auto report = sim::AnalyzeCriticalPath(result, graph);
   std::printf("%s\n", report.ToString(graph).c_str());
 
-  std::ofstream out(args.GetString("out"));
-  out << sim::ToChromeTrace(result, graph, cluster);
-  if (!out) {
-    std::printf("cannot write %s\n", args.GetString("out").c_str());
+  const std::string out_path = args.GetString("out");
+  const std::string trace = sim::ToChromeTrace(result, graph, cluster);
+  // Atomic write: never leave a truncated trace behind on a full disk.
+  if (!support::WriteFileAtomic(out_path, [&](std::ostream& out) {
+        out << trace;
+        return static_cast<bool>(out);
+      })) {
+    std::fprintf(stderr, "trace_placement: cannot write %s\n",
+                 out_path.c_str());
     return 1;
   }
-  std::printf("wrote %s (%d ops, %d transfers)\n",
-              args.GetString("out").c_str(),
+  std::printf("wrote %s (%d ops, %d transfers)\n", out_path.c_str(),
               static_cast<int>(result.schedule.size()),
               static_cast<int>(result.transfers.size()));
   return 0;
