@@ -1,173 +1,361 @@
-// Substrate microbenchmarks (google-benchmark): simulator evaluation
-// throughput, partitioner latency, NN kernel and agent step costs. These
-// quantify the per-sample cost budget behind the table/figure benches.
-#include <benchmark/benchmark.h>
+// Hot-path microbenchmarks: the optimized kernels raced against their
+// frozen naive references, in one binary, with min-of-repeats timing.
+//
+// Two sections, matching the two hot loops of a training round:
+//   - GEMM at placer shapes: optimized (nn::GemmAccum & friends) vs the
+//     bit-identity oracle (nn::naive::*) vs the seed-commit kernels
+//     verbatim (bench::prepr::*, zero-skip and contraction included —
+//     the true pre-PR baseline the acceptance ratios compare against;
+//     the oracle is itself faster than pre-PR because removing the
+//     zero-skip branch and spelling fma explicitly helps the compiler);
+//   - simulator steps/sec on the paper graphs (ExecutionSimulator with
+//     its pooled SimWorkspace vs sim::naive::RunReference, which is the
+//     pre-workspace implementation verbatim, i.e. also the pre-PR
+//     baseline).
+//
+// Optimized and oracle are bit-identical by construction
+// (tests/test_kernels.cpp, tests/test_sim.cpp prove it), so the ratios
+// below are pure throughput.
+// Timing uses calibrated inner loops and the *minimum* over --repeats
+// outer repeats: on a shared/noisy machine the minimum is the best
+// estimate of the undisturbed cost, and naive/optimized run interleaved
+// so drift hits both sides equally.
+//
+// GEMM rows tagged "placer" are the grouper/placer forward mat-mul
+// shapes the ≥3× acceptance target is defined over; untagged rows
+// (skinny logits projection, transposed backward variants) are coverage
+// for the trajectory — see the GemmCase comment for why the skinny
+// shape cannot reach 3× on this machine at all.
+//
+// Writes results/BENCH_kernels.json (override with --out=PATH) so future
+// PRs have a perf trajectory; --smoke shrinks shapes and repeats for the
+// CI wiring in scripts/run_ci.sh.
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
-#include "core/eagle_agent.h"
-#include "core/env.h"
-#include "core/eval_service.h"
+#include "bench/prepr_kernels.h"
 #include "models/zoo.h"
 #include "nn/layers.h"
-#include "partition/fluid.h"
-#include "partition/metis_like.h"
-#include "rl/ppo.h"
+#include "nn/naive_ref.h"
+#include "nn/tensor.h"
 #include "sim/measurement.h"
+#include "sim/naive_ref.h"
+#include "sim/simulator.h"
+#include "support/args.h"
+#include "support/atomic_file.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/stopwatch.h"
 
 namespace {
 
 using namespace eagle;
 
-const graph::OpGraph& BenchmarkGraph(int index) {
-  static const graph::OpGraph inception =
-      models::BuildBenchmark(models::Benchmark::kInceptionV3);
-  static const graph::OpGraph gnmt =
-      models::BuildBenchmark(models::Benchmark::kGNMT);
-  static const graph::OpGraph bert =
-      models::BuildBenchmark(models::Benchmark::kBertBase);
-  switch (index) {
-    case 0: return inception;
-    case 1: return gnmt;
-    default: return bert;
+struct BenchTiming {
+  double seconds_per_call = 0.0;  // min over repeats
+  long long iterations = 0;       // per repeat, after calibration
+};
+
+// Calibrates `fn` to run for roughly `target_seconds` per repeat, then
+// reports the fastest repeat. `fn(iters)` must execute the payload
+// exactly `iters` times.
+template <typename Fn>
+BenchTiming MeasureMinOfRepeats(Fn&& fn, int repeats, double target_seconds) {
+  long long iters = 1;
+  for (;;) {
+    support::Stopwatch watch;
+    fn(iters);
+    const double elapsed = watch.ElapsedSeconds();
+    if (elapsed >= target_seconds || iters >= (1LL << 30)) {
+      BenchTiming timing;
+      timing.iterations = iters;
+      timing.seconds_per_call = elapsed / static_cast<double>(iters);
+      for (int r = 1; r < repeats; ++r) {
+        support::Stopwatch repeat_watch;
+        fn(iters);
+        timing.seconds_per_call =
+            std::min(timing.seconds_per_call,
+                     repeat_watch.ElapsedSeconds() / static_cast<double>(iters));
+      }
+      return timing;
+    }
+    // Aim past the target so the final repeat is comfortably long.
+    const double growth =
+        elapsed > 0.0 ? target_seconds * 1.4 / elapsed : 16.0;
+    iters = std::max(iters + 1, static_cast<long long>(
+                                    static_cast<double>(iters) * growth));
   }
 }
 
-const char* GraphLabel(int index) {
-  return index == 0 ? "inception" : index == 1 ? "gnmt" : "bert";
-}
+struct GemmCase {
+  const char* kernel;  // "gemm" | "gemm_ta" | "gemm_tb"
+  int m, k, n;
+  // True for the placer/grouper forward mat-mul shapes the ≥3× target is
+  // defined over. The other rows are supplementary coverage: the skinny
+  // logits projection's naive baseline already runs from L1 (23+ GFLOP/s,
+  // so 3× would exceed the machine's 67 GFLOP/s fma peak), and the
+  // transposed backward variants are tracked for the perf trajectory.
+  bool placer = false;
+};
 
-void BM_SimulatorStep(benchmark::State& state) {
-  const auto& graph = BenchmarkGraph(static_cast<int>(state.range(0)));
-  const auto cluster = sim::MakeDefaultCluster();
-  sim::ExecutionSimulator simulator(graph, cluster);
-  support::Rng rng(1);
-  std::vector<sim::DeviceId> devices(static_cast<std::size_t>(graph.num_ops()));
-  for (auto& d : devices) d = static_cast<sim::DeviceId>(rng.NextBelow(5));
-  sim::Placement placement(graph, devices);
-  placement.Normalize(graph, cluster);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(simulator.Run(placement).step_seconds);
-  }
-  state.SetLabel(GraphLabel(static_cast<int>(state.range(0))));
-}
-BENCHMARK(BM_SimulatorStep)->Arg(0)->Arg(1)->Arg(2);
+struct GemmRow {
+  GemmCase shape;
+  double prepr_gflops = 0.0;  // seed-commit kernel, seed flags
+  double naive_gflops = 0.0;  // bit-identity oracle (nn::naive)
+  double opt_gflops = 0.0;
+  double speedup_vs_prepr = 0.0;
+  double speedup_vs_naive = 0.0;
+};
 
-void BM_MetisPartition(benchmark::State& state) {
-  const auto& graph = BenchmarkGraph(static_cast<int>(state.range(0)));
-  partition::MetisOptions options;
-  options.num_parts = 48;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(partition::MetisPartition(graph, options));
-  }
-  state.SetLabel(GraphLabel(static_cast<int>(state.range(0))));
-}
-BENCHMARK(BM_MetisPartition)->Arg(0)->Arg(1)->Arg(2);
-
-void BM_FluidPartition(benchmark::State& state) {
-  const auto& graph = BenchmarkGraph(static_cast<int>(state.range(0)));
-  partition::FluidOptions options;
-  options.num_communities = 48;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(partition::FluidCommunities(graph, options));
-  }
-  state.SetLabel(GraphLabel(static_cast<int>(state.range(0))));
-}
-BENCHMARK(BM_FluidPartition)->Arg(0)->Arg(1)->Arg(2);
-
-void BM_GemmSquare(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  support::Rng rng(2);
-  nn::Tensor a(n, n), b(n, n), out(n, n);
+GemmRow RunGemmCase(const GemmCase& shape, int repeats, double target_seconds) {
+  support::Rng rng(11);
+  // Operand shapes per kernel convention: gemm is a(m,k)·b(k,n);
+  // gemm_ta is aᵀ(k,m)·b(k,n) reducing over rows; gemm_tb is
+  // a(m,n)·bᵀ(k,n) producing (m,k).
+  const bool ta = std::string(shape.kernel) == "gemm_ta";
+  const bool tb = std::string(shape.kernel) == "gemm_tb";
+  nn::Tensor a = ta ? nn::Tensor(shape.k, shape.m)
+                    : (tb ? nn::Tensor(shape.m, shape.n)
+                          : nn::Tensor(shape.m, shape.k));
+  nn::Tensor b = tb ? nn::Tensor(shape.k, shape.n)
+                    : nn::Tensor(shape.k, shape.n);
+  nn::Tensor out = tb ? nn::Tensor(shape.m, shape.k)
+                      : nn::Tensor(shape.m, shape.n);
   nn::UniformInit(a, -1, 1, rng);
   nn::UniformInit(b, -1, 1, rng);
-  for (auto _ : state) {
-    out.Fill(0.0f);
-    nn::GemmAccum(a, b, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
-}
-BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256);
+  out.Fill(0.0f);
+  // The pre-PR contender runs on the same values but in seed storage
+  // (std::vector-backed, malloc alignment): the arena's 32-byte
+  // alignment is part of this rewrite's win and must not be credited to
+  // the baseline.
+  bench::prepr::Tensor pa(a), pb(b), pout(out);
 
-void BM_AgentSampleDecision(benchmark::State& state) {
-  const auto& graph = BenchmarkGraph(static_cast<int>(state.range(0)));
-  const auto cluster = sim::MakeDefaultCluster();
-  auto agent = core::MakeEagleAgent(graph, cluster, core::AgentDims{}, 1);
-  support::Rng rng(3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(agent->SampleDecision(rng).logp);
-  }
-  state.SetLabel(GraphLabel(static_cast<int>(state.range(0))));
-}
-BENCHMARK(BM_AgentSampleDecision)->Arg(0)->Arg(1)->Arg(2);
+  const double flops_per_call = 2.0 * shape.m * shape.k * shape.n;
+  const auto measure = [&](auto kernel) {
+    return MeasureMinOfRepeats(
+        [&](long long iters) {
+          for (long long i = 0; i < iters; ++i) kernel(a, b, out);
+        },
+        repeats, target_seconds);
+  };
+  // Interleave-by-section: all contenders run back to back on the same
+  // operands, so machine-level drift cannot favor one side.
+  const BenchTiming opt =
+      measure(ta ? nn::GemmTransAAccum : tb ? nn::GemmTransBAccum
+                                            : nn::GemmAccum);
+  const BenchTiming naive = measure(ta   ? nn::naive::GemmTransAAccum
+                                    : tb ? nn::naive::GemmTransBAccum
+                                         : nn::naive::GemmAccum);
+  const auto prepr_kernel = ta   ? bench::prepr::GemmTransAAccum
+                            : tb ? bench::prepr::GemmTransBAccum
+                                 : bench::prepr::GemmAccum;
+  const BenchTiming prepr = MeasureMinOfRepeats(
+      [&](long long iters) {
+        for (long long i = 0; i < iters; ++i) prepr_kernel(pa, pb, pout);
+      },
+      repeats, target_seconds);
 
-void BM_PpoMinibatchUpdate(benchmark::State& state) {
-  const auto& graph = BenchmarkGraph(static_cast<int>(state.range(0)));
-  const auto cluster = sim::MakeDefaultCluster();
-  auto agent = core::MakeEagleAgent(graph, cluster, core::AgentDims{}, 1);
-  support::Rng rng(4);
-  std::vector<rl::Sample> batch;
-  for (int i = 0; i < 10; ++i) {
-    auto sample = agent->SampleDecision(rng);
-    sample.advantage = rng.NextGaussian();
-    batch.push_back(std::move(sample));
-  }
-  nn::Adam adam(agent->params());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rl::PpoUpdate(*agent, adam, batch, {}));
-  }
-  state.SetLabel(GraphLabel(static_cast<int>(state.range(0))));
+  GemmRow row;
+  row.shape = shape;
+  row.prepr_gflops = flops_per_call / prepr.seconds_per_call / 1e9;
+  row.naive_gflops = flops_per_call / naive.seconds_per_call / 1e9;
+  row.opt_gflops = flops_per_call / opt.seconds_per_call / 1e9;
+  row.speedup_vs_prepr = prepr.seconds_per_call / opt.seconds_per_call;
+  row.speedup_vs_naive = naive.seconds_per_call / opt.seconds_per_call;
+  return row;
 }
-BENCHMARK(BM_PpoMinibatchUpdate)->Arg(0)->Arg(1)->Arg(2);
 
-void BM_EnvironmentEvaluate(benchmark::State& state) {
-  const auto& graph = BenchmarkGraph(static_cast<int>(state.range(0)));
-  const auto cluster = sim::MakeDefaultCluster();
-  core::EnvironmentOptions options;
-  options.cache_evaluations = false;
-  core::PlacementEnvironment env(graph, cluster, options);
-  support::Rng rng(5);
-  auto agent = core::MakeEagleAgent(graph, cluster, core::AgentDims{}, 1);
-  const auto sample = agent->SampleDecision(rng);
-  const auto placement = agent->ToPlacement(sample);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        env.Evaluate(placement, &rng).per_step_seconds);
-  }
-  state.SetLabel(GraphLabel(static_cast<int>(state.range(0))));
-}
-BENCHMARK(BM_EnvironmentEvaluate)->Arg(0)->Arg(1)->Arg(2);
+struct SimRow {
+  std::string graph;
+  int num_ops = 0;
+  double naive_steps_per_sec = 0.0;
+  double opt_steps_per_sec = 0.0;
+  double speedup = 0.0;
+};
 
-// Thread-scaling sweep for the parallel evaluation service: one GNMT
-// minibatch of 10 distinct placements per iteration, fanned out over
-// N workers. Results are bit-identical across N (the determinism
-// contract); only wall-clock time should change.
-void BM_EvalServiceBatch(benchmark::State& state) {
-  const auto& graph = BenchmarkGraph(1);  // gnmt: the largest sim graph
+SimRow RunSimCase(models::Benchmark benchmark, bool reduced, int repeats,
+                  double target_seconds) {
+  models::ZooOptions zoo;
+  zoo.reduced = reduced;
+  const graph::OpGraph graph = models::BuildBenchmark(benchmark, zoo);
   const auto cluster = sim::MakeDefaultCluster();
-  core::EnvironmentOptions options;
-  options.cache_evaluations = false;
-  core::PlacementEnvironment env(graph, cluster, options);
-  core::EvalService service(env, static_cast<int>(state.range(0)));
-  support::Rng rng(6);
-  auto agent = core::MakeEagleAgent(graph, cluster, core::AgentDims{}, 1);
-  std::vector<sim::Placement> placements;
-  for (int i = 0; i < 10; ++i) {
-    placements.push_back(agent->ToPlacement(agent->SampleDecision(rng)));
+  const sim::SimulatorOptions options;
+  sim::ExecutionSimulator simulator(graph, cluster, options);
+  // The frozen reference gets the same constructor-cached priorities the
+  // historical simulator had, outside the timed region.
+  const std::vector<int> priorities = sim::naive::CriticalPriorities(graph);
+
+  support::Rng rng(1);
+  std::vector<sim::DeviceId> devices(static_cast<std::size_t>(graph.num_ops()));
+  for (auto& d : devices) {
+    d = static_cast<sim::DeviceId>(
+        rng.NextBelow(static_cast<std::uint64_t>(cluster.num_devices())));
   }
-  for (auto _ : state) {
-    std::vector<support::Rng> rngs;
-    for (std::size_t i = 0; i < placements.size(); ++i) {
-      rngs.push_back(rng.Split(i));
-    }
-    const auto results = service.EvaluateBatch(placements, rngs);
-    benchmark::DoNotOptimize(results.data());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(placements.size()));
-  state.SetLabel("threads=" + std::to_string(service.num_threads()));
+  sim::Placement placement(graph, devices);
+  placement.Normalize(graph, cluster);
+
+  const BenchTiming opt = MeasureMinOfRepeats(
+      [&](long long iters) {
+        for (long long i = 0; i < iters; ++i) {
+          volatile double sink = simulator.Run(placement).step_seconds;
+          (void)sink;
+        }
+      },
+      repeats, target_seconds);
+  const BenchTiming naive = MeasureMinOfRepeats(
+      [&](long long iters) {
+        for (long long i = 0; i < iters; ++i) {
+          volatile double sink =
+              sim::naive::RunReference(graph, cluster, options, priorities,
+                                       placement)
+                  .step_seconds;
+          (void)sink;
+        }
+      },
+      repeats, target_seconds);
+
+  SimRow row;
+  row.graph = models::BenchmarkName(benchmark);
+  row.num_ops = graph.num_ops();
+  row.naive_steps_per_sec = 1.0 / naive.seconds_per_call;
+  row.opt_steps_per_sec = 1.0 / opt.seconds_per_call;
+  row.speedup = naive.seconds_per_call / opt.seconds_per_call;
+  return row;
 }
-BENCHMARK(BM_EvalServiceBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+std::string RenderJson(const std::vector<GemmRow>& gemm,
+                       const std::vector<SimRow>& sims, bool smoke,
+                       int repeats) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"eagle.bench_kernels.v1\",\n";
+  os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  os << "  \"repeats\": " << repeats << ",\n";
+  os << "  \"simd\": "
+#ifdef EAGLE_SIMD
+     << "true"
+#else
+     << "false"
+#endif
+     << ",\n";
+  os << "  \"gemm\": [\n";
+  for (std::size_t i = 0; i < gemm.size(); ++i) {
+    const auto& r = gemm[i];
+    os << "    {\"kernel\": \"" << r.shape.kernel << "\", \"m\": "
+       << r.shape.m << ", \"k\": " << r.shape.k << ", \"n\": " << r.shape.n
+       << ", \"placer\": " << (r.shape.placer ? "true" : "false")
+       << ", \"prepr_gflops\": " << support::json::Num(r.prepr_gflops)
+       << ", \"naive_gflops\": " << support::json::Num(r.naive_gflops)
+       << ", \"opt_gflops\": " << support::json::Num(r.opt_gflops)
+       << ", \"speedup_vs_prepr\": " << support::json::Num(r.speedup_vs_prepr)
+       << ", \"speedup_vs_naive\": " << support::json::Num(r.speedup_vs_naive)
+       << "}" << (i + 1 < gemm.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"simulator\": [\n";
+  for (std::size_t i = 0; i < sims.size(); ++i) {
+    const auto& r = sims[i];
+    os << "    {\"graph\": \"" << r.graph << "\", \"num_ops\": " << r.num_ops
+       << ", \"naive_steps_per_sec\": "
+       << support::json::Num(r.naive_steps_per_sec)
+       << ", \"opt_steps_per_sec\": "
+       << support::json::Num(r.opt_steps_per_sec)
+       << ", \"speedup\": " << support::json::Num(r.speedup) << "}"
+       << (i + 1 < sims.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  double placer_min = 0.0, all_min = 0.0, sim_min = 0.0;
+  for (const auto& r : gemm) {
+    all_min = all_min == 0.0 ? r.speedup_vs_prepr
+                             : std::min(all_min, r.speedup_vs_prepr);
+    if (!r.shape.placer) continue;
+    placer_min = placer_min == 0.0 ? r.speedup_vs_prepr
+                                   : std::min(placer_min, r.speedup_vs_prepr);
+  }
+  for (const auto& r : sims) {
+    sim_min = sim_min == 0.0 ? r.speedup : std::min(sim_min, r.speedup);
+  }
+  os << "  \"summary\": {\"gemm_min_speedup_vs_prepr\": "
+     << support::json::Num(placer_min)
+     << ", \"gemm_min_speedup_all_shapes\": " << support::json::Num(all_min)
+     << ", \"sim_min_speedup\": " << support::json::Num(sim_min) << "}\n";
+  os << "}\n";
+  return os.str();
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "Hot-path microbenchmarks: optimized GEMM kernels and the "
+      "workspace simulator vs their frozen naive references. Writes a "
+      "BENCH_kernels.json perf baseline.");
+  args.AddBool("smoke", false,
+               "tiny shapes and short repeats (CI wiring; ratios are "
+               "still reported but not meaningful)");
+  args.AddInt("repeats", 7, "outer repeats; the minimum is reported");
+  args.AddDouble("target-ms", 60.0, "per-repeat calibrated duration");
+  args.AddString("out", "results/BENCH_kernels.json",
+                 "output JSON path (empty string: stdout only)");
+  if (!args.Parse(argc, argv)) return 0;
+
+  const bool smoke = args.GetBool("smoke");
+  const int repeats = smoke ? 2 : static_cast<int>(args.GetInt("repeats"));
+  const double target_seconds =
+      (smoke ? 5.0 : args.GetDouble("target-ms")) / 1e3;
+
+  // Placer shapes: the grouper FFN and seq2seq placer mat-muls are
+  // square-ish 64–256 blocks; the skinny case is the per-step logits
+  // projection (batch rows × hidden).
+  std::vector<GemmCase> gemm_cases;
+  if (smoke) {
+    gemm_cases = {{"gemm", 48, 48, 48, true},
+                  {"gemm_ta", 32, 32, 32, false},
+                  {"gemm_tb", 32, 32, 32, false}};
+  } else {
+    gemm_cases = {{"gemm", 64, 64, 64, true},
+                  {"gemm", 128, 128, 128, true},
+                  {"gemm", 256, 256, 256, true},
+                  {"gemm", 8, 256, 256, false},
+                  {"gemm_ta", 128, 128, 128, false},
+                  {"gemm_tb", 128, 128, 128, false}};
+  }
+
+  std::vector<GemmRow> gemm;
+  for (const auto& c : gemm_cases) {
+    gemm.push_back(RunGemmCase(c, repeats, target_seconds));
+    const auto& r = gemm.back();
+    std::cout << r.shape.kernel << " " << r.shape.m << "x" << r.shape.k << "x"
+              << r.shape.n << ": pre-PR " << r.prepr_gflops
+              << " GFLOP/s, oracle " << r.naive_gflops << " GFLOP/s, opt "
+              << r.opt_gflops << " GFLOP/s, speedup vs pre-PR "
+              << r.speedup_vs_prepr << "x\n";
+  }
+
+  std::vector<SimRow> sims;
+  for (const auto benchmark : models::AllBenchmarks()) {
+    sims.push_back(RunSimCase(benchmark, smoke, repeats, target_seconds));
+    const auto& r = sims.back();
+    std::cout << "sim " << r.graph << " (" << r.num_ops << " ops): naive "
+              << r.naive_steps_per_sec << " steps/s, opt "
+              << r.opt_steps_per_sec << " steps/s, speedup " << r.speedup
+              << "x\n";
+  }
+
+  const std::string json = RenderJson(gemm, sims, smoke, repeats);
+  const std::string out = args.GetString("out");
+  if (!out.empty()) {
+    if (!support::WriteFileAtomic(
+            out, [&](std::ostream& os) { return bool(os << json); })) {
+      std::cerr << "failed to write " << out << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << out << "\n";
+  } else {
+    std::cout << json;
+  }
+  return 0;
+}

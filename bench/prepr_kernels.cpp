@@ -1,0 +1,70 @@
+#include "bench/prepr_kernels.h"
+
+#include "support/check.h"
+
+namespace eagle::bench::prepr {
+
+// Kernel bodies below are the seed-commit src/nn/tensor.cpp verbatim;
+// only the tensor type differs (prepr::Tensor, the seed's std::vector
+// storage — see the header).
+
+void GemmAccum(const Tensor& a, const Tensor& b, Tensor& out) {
+  EAGLE_CHECK_MSG(a.cols() == b.rows() && out.rows() == a.rows() &&
+                      out.cols() == b.cols(),
+                  "gemm shape mismatch: " << a.ShapeString() << " * "
+                                          << b.ShapeString() << " -> "
+                                          << out.ShapeString());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransAAccum(const Tensor& a, const Tensor& b, Tensor& out) {
+  // out(k, n) += aᵀ(k, m) * b(m, n), a is m×k.
+  EAGLE_CHECK_MSG(a.rows() == b.rows() && out.rows() == a.cols() &&
+                      out.cols() == b.cols(),
+                  "gemmTA shape mismatch: " << a.ShapeString() << "ᵀ * "
+                                            << b.ShapeString() << " -> "
+                                            << out.ShapeString());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    const float* brow = b.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* orow = out.row(p);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransBAccum(const Tensor& a, const Tensor& b, Tensor& out) {
+  // out(m, k) += a(m, n) * bᵀ(n, k), b is k×n.
+  EAGLE_CHECK_MSG(a.cols() == b.cols() && out.rows() == a.rows() &&
+                      out.cols() == b.rows(),
+                  "gemmTB shape mismatch: " << a.ShapeString() << " * "
+                                            << b.ShapeString() << "ᵀ -> "
+                                            << out.ShapeString());
+  const int m = a.rows(), n = a.cols(), k = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b.row(p);
+      float acc = 0.0f;
+      for (int j = 0; j < n; ++j) acc += arow[j] * brow[j];
+      orow[p] += acc;
+    }
+  }
+}
+
+}  // namespace eagle::bench::prepr

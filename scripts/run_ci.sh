@@ -7,7 +7,11 @@
 #   4. a telemetry smoke run: a tiny bench_fig5 training run with
 #      --telemetry-out / --profile-out must produce JSONL that
 #      tools/metrics_report parses and a Chrome trace containing
-#      trainer-phase spans (see docs/OBSERVABILITY.md).
+#      trainer-phase spans (see docs/OBSERVABILITY.md),
+#   5. a kernel-bench smoke run: bench_micro --smoke must complete and
+#      emit well-formed BENCH_kernels.json (tiny shapes — it guards the
+#      harness and the naive-reference plumbing, not the perf ratios;
+#      see docs/PERFORMANCE.md).
 # Usage: scripts/run_ci.sh [build-dir]
 set -euo pipefail
 BUILD=${1:-build-ci}
@@ -42,5 +46,14 @@ grep -q '"name":"eval\.' "$SMOKE/profile.json"
 test -s "$SMOKE/report_runs.csv"
 test -s "$SMOKE/report_phases.csv"
 echo TELEMETRY_SMOKE_CLEAN
+
+echo "=== kernel bench smoke ==="
+"$BUILD/bench/bench_micro" --smoke --out="$SMOKE/BENCH_kernels.json"
+test -s "$SMOKE/BENCH_kernels.json"
+grep -q '"schema": "eagle.bench_kernels.v1"' "$SMOKE/BENCH_kernels.json"
+grep -q '"smoke": true' "$SMOKE/BENCH_kernels.json"
+grep -q '"kernel": "gemm"' "$SMOKE/BENCH_kernels.json"
+grep -q '"graph": "Inception-V3"' "$SMOKE/BENCH_kernels.json"
+echo BENCH_SMOKE_CLEAN
 
 echo CI_CLEAN

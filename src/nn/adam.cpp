@@ -20,8 +20,11 @@ double Adam::Step() {
   ++t_;
   const double bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
   const double bias2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
-  for (const auto& p : store_->params()) {
-    Slot& slot = slots_[p.get()];
+  const auto& params = store_->params();
+  if (slots_.size() < params.size()) slots_.resize(params.size());
+  for (std::size_t idx = 0; idx < params.size(); ++idx) {
+    const auto& p = params[idx];
+    Slot& slot = slots_[idx];
     if (slot.m.empty()) {
       slot.m = Tensor(p->value.rows(), p->value.cols());
       slot.v = Tensor(p->value.rows(), p->value.cols());
@@ -48,18 +51,19 @@ double Adam::Step() {
 
 void Adam::SaveState(std::ostream& out) const {
   out.write(reinterpret_cast<const char*>(&t_), sizeof(t_));
-  const auto count = static_cast<std::uint32_t>(store_->params().size());
+  const auto& params = store_->params();
+  const auto count = static_cast<std::uint32_t>(params.size());
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto& p : store_->params()) {
+  for (std::size_t idx = 0; idx < params.size(); ++idx) {
+    const auto& p = params[idx];
     const auto name_len = static_cast<std::uint32_t>(p->name.size());
     out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
     out.write(p->name.data(), name_len);
-    const auto it = slots_.find(p.get());
     const std::uint8_t has_slot =
-        it != slots_.end() && !it->second.m.empty() ? 1 : 0;
+        idx < slots_.size() && !slots_[idx].m.empty() ? 1 : 0;
     out.write(reinterpret_cast<const char*>(&has_slot), sizeof(has_slot));
     if (has_slot != 0) {
-      const Slot& slot = it->second;
+      const Slot& slot = slots_[idx];
       const auto n = static_cast<std::streamsize>(p->value.size() *
                                                   sizeof(float));
       out.write(reinterpret_cast<const char*>(slot.m.data()), n);
@@ -73,6 +77,8 @@ void Adam::LoadState(std::istream& in) {
   std::uint32_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
   EAGLE_CHECK_MSG(in, "truncated optimizer state");
+  const auto& params = store_->params();
+  slots_.assign(params.size(), Slot{});
   for (std::uint32_t i = 0; i < count; ++i) {
     std::uint32_t name_len = 0;
     in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
@@ -82,14 +88,21 @@ void Adam::LoadState(std::istream& in) {
     std::uint8_t has_slot = 0;
     in.read(reinterpret_cast<char*>(&has_slot), sizeof(has_slot));
     EAGLE_CHECK_MSG(in, "truncated optimizer state");
-    Parameter* p = store_->Find(name);
-    EAGLE_CHECK_MSG(p != nullptr,
+    std::size_t idx = params.size();
+    for (std::size_t j = 0; j < params.size(); ++j) {
+      if (params[j]->name == name) {
+        idx = j;
+        break;
+      }
+    }
+    EAGLE_CHECK_MSG(idx < params.size(),
                     "optimizer state for unknown parameter " << name);
+    Parameter* p = params[idx].get();
     if (has_slot == 0) {
-      slots_.erase(p);
+      slots_[idx] = Slot{};
       continue;
     }
-    Slot& slot = slots_[p];
+    Slot& slot = slots_[idx];
     slot.m = Tensor(p->value.rows(), p->value.cols());
     slot.v = Tensor(p->value.rows(), p->value.cols());
     const auto n =

@@ -5,7 +5,7 @@
 #pragma once
 
 #include <iosfwd>
-#include <unordered_map>
+#include <vector>
 
 #include "nn/layers.h"
 
@@ -44,7 +44,9 @@ class Adam {
   };
   ParamStore* store_;
   AdamOptions options_;
-  std::unordered_map<Parameter*, Slot> slots_;
+  // Parallel to store_->params() order (parameters are append-only), so
+  // Step() walks a flat array instead of hashing pointers.
+  std::vector<Slot> slots_;
   std::int64_t t_ = 0;
 };
 

@@ -1,0 +1,25 @@
+// Scalar triple-loop GEMM reference kernels — the bit-identity oracle.
+//
+// These are the pre-blocking kernels from nn/tensor.cpp, preserved
+// verbatim except for the removed `if (av == 0.0f) continue;` zero-skip
+// (it silently dropped NaN/Inf propagation from the other operand:
+// 0 · NaN must be NaN) and the scalar multiply-accumulate going through
+// the shared detail::MulAdd so reference and optimized paths round
+// identically. test_kernels asserts the production kernels match these
+// bit-for-bit across a shape grid; bench_micro measures the speedup
+// against them. Built as the separate eagle_nn_naive library so
+// production binaries never link the slow path.
+#pragma once
+
+#include "nn/tensor.h"
+
+namespace eagle::nn::naive {
+
+// out += a * b  (m×k times k×n).
+void GemmAccum(const Tensor& a, const Tensor& b, Tensor& out);
+// out += aᵀ * b.
+void GemmTransAAccum(const Tensor& a, const Tensor& b, Tensor& out);
+// out += a * bᵀ.
+void GemmTransBAccum(const Tensor& a, const Tensor& b, Tensor& out);
+
+}  // namespace eagle::nn::naive

@@ -6,7 +6,9 @@
 namespace eagle::nn {
 
 void Tape::Reset() {
-  nodes_.clear();
+  // Newest-first so tensor buffers hit the arena freelists in LIFO
+  // order (vector::clear would destroy front-to-back).
+  while (!nodes_.empty()) nodes_.pop_back();
   param_cache_.clear();
 }
 
@@ -28,8 +30,7 @@ Tensor& Tape::GradRef(Var v) {
   return n.grad;
 }
 
-Var Tape::Push(Tensor value, bool needs_grad,
-               std::function<void()> backward) {
+Var Tape::Push(Tensor value, bool needs_grad, BackwardFn backward) {
   Node n;
   n.value = std::move(value);
   n.needs_grad = needs_grad;

@@ -1,9 +1,13 @@
 // Dense fp32 matrix type used by the agent networks.
 //
 // Everything the agents compute (grouper logits, LSTM states, attention
-// scores) is a rank-2 tensor; vectors are 1×C or R×1. Kernels are written
-// for single-core cache behaviour (ikj loops) — at agent sizes (64 groups,
-// 128–512 hidden) this sustains several GFLOP/s, plenty for training.
+// scores) is a rank-2 tensor; vectors are 1×C or R×1. Storage comes from
+// the per-thread freelist arena (nn/arena.h) so tape-heavy training loops
+// stop paying malloc per node. Kernels are register-blocked with
+// vectorizable j-inner loops (plus an intrinsics path behind EAGLE_SIMD)
+// and are bit-identical to the naive triple-loop reference in
+// nn/naive_ref.h: the accumulation order over k for each output element
+// is exactly the reference's, only the loop nest around it changes.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +23,12 @@ class Tensor {
   Tensor() = default;
   Tensor(int rows, int cols, float fill = 0.0f);
   static Tensor FromData(int rows, int cols, std::vector<float> data);
+
+  Tensor(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(const Tensor& other);
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
@@ -38,11 +48,11 @@ class Tensor {
                  static_cast<std::size_t>(c)];
   }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  float* row(int r) { return data() + static_cast<std::size_t>(r) * cols_; }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  float* row(int r) { return data_ + static_cast<std::size_t>(r) * cols_; }
   const float* row(int r) const {
-    return data() + static_cast<std::size_t>(r) * cols_;
+    return data_ + static_cast<std::size_t>(r) * cols_;
   }
 
   void Fill(float v);
@@ -55,7 +65,7 @@ class Tensor {
  private:
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<float> data_;
+  float* data_ = nullptr;  // arena-backed, rows_*cols_ floats
 };
 
 // out += a * b  (m×k times k×n). Accumulating form so backward passes can

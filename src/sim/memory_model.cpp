@@ -4,31 +4,35 @@
 
 namespace eagle::sim {
 
-std::int64_t PeakLiveBytes(std::vector<LiveInterval> intervals) {
-  struct Event {
-    double time;
-    std::int64_t delta;
-  };
-  std::vector<Event> events;
-  events.reserve(intervals.size() * 2);
+std::int64_t PeakLiveBytes(const std::vector<LiveInterval>& intervals,
+                           std::vector<MemEvent>& scratch) {
+  scratch.clear();
+  scratch.reserve(intervals.size() * 2);
   for (const auto& iv : intervals) {
     if (iv.bytes <= 0 || iv.end <= iv.start) continue;
-    events.push_back({iv.start, iv.bytes});
-    events.push_back({iv.end, -iv.bytes});
+    scratch.push_back({iv.start, iv.bytes});
+    scratch.push_back({iv.end, -iv.bytes});
   }
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    // Free before allocate at identical timestamps (conservative would be
-    // the reverse; frameworks reuse buffers within a step, so free-first
-    // matches observed footprints better).
-    return a.time < b.time || (a.time == b.time && a.delta < b.delta);
-  });
+  std::sort(scratch.begin(), scratch.end(),
+            [](const MemEvent& a, const MemEvent& b) {
+              // Free before allocate at identical timestamps (conservative
+              // would be the reverse; frameworks reuse buffers within a
+              // step, so free-first matches observed footprints better).
+              return a.time < b.time ||
+                     (a.time == b.time && a.delta < b.delta);
+            });
   std::int64_t live = 0;
   std::int64_t peak = 0;
-  for (const auto& e : events) {
+  for (const auto& e : scratch) {
     live += e.delta;
     peak = std::max(peak, live);
   }
   return peak;
+}
+
+std::int64_t PeakLiveBytes(std::vector<LiveInterval> intervals) {
+  std::vector<MemEvent> scratch;
+  return PeakLiveBytes(intervals, scratch);
 }
 
 }  // namespace eagle::sim

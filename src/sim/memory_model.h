@@ -19,8 +19,21 @@ struct LiveInterval {
   std::int64_t bytes = 0;
 };
 
+// One endpoint of a live interval in the sweep-line scan.
+struct MemEvent {
+  double time = 0.0;
+  std::int64_t delta = 0;
+};
+
 // Peak of the sum of overlapping intervals (classic sweep line).
 std::int64_t PeakLiveBytes(std::vector<LiveInterval> intervals);
+
+// Allocation-free variant for the simulator hot path: reads `intervals`
+// without consuming it and sweeps inside the caller-provided scratch
+// buffer (cleared on entry, capacity retained), so a warmed-up
+// SimWorkspace re-runs with zero heap traffic.
+std::int64_t PeakLiveBytes(const std::vector<LiveInterval>& intervals,
+                           std::vector<MemEvent>& scratch);
 
 struct MemoryModelOptions {
   // Allocator fragmentation + cuDNN workspace multiplier on activations.

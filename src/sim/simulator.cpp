@@ -1,9 +1,8 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
 #include <sstream>
-#include <unordered_map>
 
 #include "sim/audit.h"
 #include "support/check.h"
@@ -12,23 +11,6 @@
 namespace eagle::sim {
 
 namespace {
-
-// Ready-queue entry: ops ready earlier run first; ties broken by longer
-// downstream critical path, then by id for determinism.
-struct ReadyOp {
-  double ready_time;
-  int priority;
-  graph::OpId op;
-
-  bool operator>(const ReadyOp& other) const {
-    if (ready_time != other.ready_time) return ready_time > other.ready_time;
-    if (priority != other.priority) return priority < other.priority;
-    return op > other.op;
-  }
-};
-
-using ReadyQueue =
-    std::priority_queue<ReadyOp, std::vector<ReadyOp>, std::greater<ReadyOp>>;
 
 // Telemetry observers: run/event totals for the metrics registry. The
 // simulator's own results never read these back.
@@ -141,67 +123,71 @@ StepResult ExecutionSimulator::RunInternal(const Placement& placement,
   result.device_peak_bytes.assign(static_cast<std::size_t>(num_devices), 0);
   result.device_param_bytes.assign(static_cast<std::size_t>(num_devices), 0);
 
-  std::vector<double> ready_time(static_cast<std::size_t>(num_ops), 0.0);
-  std::vector<double> finish_time(static_cast<std::size_t>(num_ops), 0.0);
-  std::vector<int> pending_inputs(static_cast<std::size_t>(num_ops), 0);
-  for (graph::OpId i = 0; i < num_ops; ++i) {
-    pending_inputs[static_cast<std::size_t>(i)] =
-        static_cast<int>(g.in_edges(i).size());
-  }
+  // All per-run scratch lives in a pooled workspace (sim_workspace.h):
+  // flat epoch-stamped arrays instead of hash maps, recycled heap vectors
+  // instead of priority_queues. Zero heap traffic once warm.
+  auto lease = workspaces_.Acquire();
+  SimWorkspace& ws = *lease;
+  ws.Prepare(num_ops, num_devices, cluster_->num_link_channels());
+  const std::uint32_t epoch = ws.epoch;
+  const auto cmp = std::greater<ReadyOp>();
 
-  std::vector<double> device_free(static_cast<std::size_t>(num_devices), 0.0);
-  // One free-time slot per contention channel (by default one per directed
-  // link; shared-bus clusters map several links onto one channel).
-  std::vector<double> link_free(
-      static_cast<std::size_t>(cluster_->num_link_channels()), 0.0);
-  std::vector<ReadyQueue> queues(static_cast<std::size_t>(num_devices));
-
-  // Transfer dedup: (producer op, dst device, bytes) -> arrival time.
-  struct TransferKey {
-    std::uint64_t packed;
-    bool operator==(const TransferKey& o) const { return packed == o.packed; }
+  const auto push_ready = [&ws, &cmp](DeviceId d, ReadyOp entry) {
+    auto& h = ws.heaps[static_cast<std::size_t>(d)];
+    h.push_back(entry);
+    std::push_heap(h.begin(), h.end(), cmp);
   };
-  struct TransferKeyHash {
-    std::size_t operator()(const TransferKey& k) const {
-      return std::hash<std::uint64_t>()(k.packed);
+  // An op's ready time defaults to 0 until a predecessor raises it; the
+  // epoch stamp stands in for the old per-run zero-fill.
+  const auto raise_ready = [&ws, epoch](graph::OpId v, double t) {
+    const auto i = static_cast<std::size_t>(v);
+    if (ws.ready_epoch[i] != epoch) {
+      ws.ready_epoch[i] = epoch;
+      ws.ready_time[i] = t;
+    } else if (t > ws.ready_time[i]) {
+      ws.ready_time[i] = t;
     }
+    return ws.ready_time[i];
   };
-  std::unordered_map<TransferKey, double, TransferKeyHash> transfer_cache;
-  auto make_key = [](graph::OpId src, DeviceId dst, std::int64_t bytes) {
-    // 24 bits of op id, 8 of device, 32 of byte-size hash.
-    const std::uint64_t bhash =
-        static_cast<std::uint64_t>(bytes) * 0x9E3779B97F4A7C15ULL >> 32;
-    return TransferKey{(static_cast<std::uint64_t>(src) << 40) |
-                       (static_cast<std::uint64_t>(dst) << 32) | bhash};
+  // Pending-input counters start at in-degree, materialized on first
+  // decrement; ops with no inputs never get here (seeded below).
+  const auto decrement_pending = [&ws, epoch, &g](graph::OpId v) {
+    const auto i = static_cast<std::size_t>(v);
+    if (ws.pending_epoch[i] != epoch) {
+      ws.pending_epoch[i] = epoch;
+      ws.pending_inputs[i] = static_cast<int>(g.in_edges(v).size());
+    }
+    return --ws.pending_inputs[i];
   };
 
   int scheduled = 0;
   for (graph::OpId i = 0; i < num_ops; ++i) {
-    if (pending_inputs[static_cast<std::size_t>(i)] == 0) {
-      queues[static_cast<std::size_t>(placement.device(i))].push(
-          ReadyOp{0.0, critical_priority_[static_cast<std::size_t>(i)], i});
+    if (g.in_edges(i).empty()) {
+      push_ready(placement.device(i),
+                 ReadyOp{0.0, critical_priority_[static_cast<std::size_t>(i)],
+                         i});
     }
   }
 
   // Activation liveness per device: tensor intervals collected as we go.
-  std::vector<std::vector<LiveInterval>> intervals(
-      static_cast<std::size_t>(num_devices));
-  // Last use time of each op's output on each device is finalized lazily:
-  // we extend the interval as consumers get scheduled.
-  // live_slot[(op, device)] -> index into intervals[device]
-  std::unordered_map<std::uint64_t, std::size_t> live_slot;
+  // The last use time of each op's output on each device is finalized
+  // lazily — the interval extends as consumers get scheduled. The
+  // (producer, device) -> interval-index map is the flat epoch-stamped
+  // live_epoch/live_index pair in the workspace.
   auto touch = [&](graph::OpId producer, DeviceId device, double start,
                    double end, std::int64_t bytes) {
     if (!options_.track_memory || bytes <= 0) return;
-    const std::uint64_t key = (static_cast<std::uint64_t>(producer) << 8) |
-                              static_cast<std::uint64_t>(device);
-    auto it = live_slot.find(key);
-    if (it == live_slot.end()) {
-      live_slot.emplace(key, intervals[static_cast<std::size_t>(device)].size());
-      intervals[static_cast<std::size_t>(device)].push_back(
-          LiveInterval{start, end, bytes});
+    const std::size_t slot =
+        static_cast<std::size_t>(producer) *
+            static_cast<std::size_t>(num_devices) +
+        static_cast<std::size_t>(device);
+    auto& ivs = ws.intervals[static_cast<std::size_t>(device)];
+    if (ws.live_epoch[slot] != epoch) {
+      ws.live_epoch[slot] = epoch;
+      ws.live_index[slot] = static_cast<std::uint32_t>(ivs.size());
+      ivs.push_back(LiveInterval{start, end, bytes});
     } else {
-      auto& iv = intervals[static_cast<std::size_t>(device)][it->second];
+      auto& iv = ivs[ws.live_index[slot]];
       iv.start = std::min(iv.start, start);
       iv.end = std::max(iv.end, end);
     }
@@ -213,11 +199,11 @@ StepResult ExecutionSimulator::RunInternal(const Placement& placement,
     double best_start = 0.0;
     int best_priority = -1;
     for (DeviceId d = 0; d < num_devices; ++d) {
-      auto& q = queues[static_cast<std::size_t>(d)];
-      if (q.empty()) continue;
-      const ReadyOp& head = q.top();
+      const auto& h = ws.heaps[static_cast<std::size_t>(d)];
+      if (h.empty()) continue;
+      const ReadyOp& head = h.front();
       const double start =
-          std::max(head.ready_time, device_free[static_cast<std::size_t>(d)]);
+          std::max(head.ready_time, ws.device_free[static_cast<std::size_t>(d)]);
       if (best_dev < 0 || start < best_start ||
           (start == best_start && head.priority > best_priority)) {
         best_dev = d;
@@ -228,17 +214,18 @@ StepResult ExecutionSimulator::RunInternal(const Placement& placement,
     EAGLE_CHECK_MSG(best_dev >= 0,
                     "deadlock: no ready ops but " << num_ops - scheduled
                                                   << " unscheduled");
-    auto& q = queues[static_cast<std::size_t>(best_dev)];
-    const graph::OpId u = q.top().op;
-    q.pop();
+    auto& h = ws.heaps[static_cast<std::size_t>(best_dev)];
+    const graph::OpId u = h.front().op;
+    std::pop_heap(h.begin(), h.end(), cmp);
+    h.pop_back();
     ++scheduled;
 
     const double start = best_start;
     const double compute =
         cost_model_.ComputeSeconds(g.op(u), best_dev) * compute_scale(best_dev);
     const double finish = start + compute;
-    finish_time[static_cast<std::size_t>(u)] = finish;
-    device_free[static_cast<std::size_t>(best_dev)] = finish;
+    ws.finish_time[static_cast<std::size_t>(u)] = finish;
+    ws.device_free[static_cast<std::size_t>(best_dev)] = finish;
     result.device_busy_seconds[static_cast<std::size_t>(best_dev)] += compute;
     if (record_schedule) {
       result.schedule.push_back(ScheduledOp{u, best_dev, start, finish});
@@ -247,18 +234,39 @@ StepResult ExecutionSimulator::RunInternal(const Placement& placement,
     // Output tensor materializes on the producing device.
     touch(u, best_dev, finish, finish, g.op(u).output_bytes());
 
-    // Resolve out-edges: local hand-off or (deduped) transfer.
+    // Resolve out-edges: local hand-off or (deduped) transfer. Dedup is
+    // keyed on the exact (producer, dst device, bytes) triple: the flat
+    // slot caches the first byte size shipped producer→dst; a second
+    // distinct size — legitimate when one op feeds consumers tensors of
+    // different widths — goes through the overflow list rather than being
+    // silently merged (the old 32-bit byte-size hash could collide and
+    // drop a real transfer).
     for (auto ei : g.out_edges(u)) {
       const graph::Edge& e = g.edges()[static_cast<std::size_t>(ei)];
       const DeviceId dst_dev = placement.device(e.dst);
       double arrival = finish;
       if (dst_dev != best_dev) {
-        const TransferKey key = make_key(u, dst_dev, e.bytes);
-        auto it = transfer_cache.find(key);
-        if (it != transfer_cache.end()) {
-          arrival = it->second;
+        const std::size_t slot =
+            static_cast<std::size_t>(u) *
+                static_cast<std::size_t>(num_devices) +
+            static_cast<std::size_t>(dst_dev);
+        const double* cached = nullptr;
+        if (ws.transfer_epoch[slot] == epoch) {
+          if (ws.transfer_bytes[slot] == e.bytes) {
+            cached = &ws.transfer_arrival[slot];
+          } else {
+            for (const auto& o : ws.transfer_overflow) {
+              if (o.slot == slot && o.bytes == e.bytes) {
+                cached = &o.arrival;
+                break;
+              }
+            }
+          }
+        }
+        if (cached != nullptr) {
+          arrival = *cached;
         } else {
-          auto& lf = link_free[static_cast<std::size_t>(
+          auto& lf = ws.link_free[static_cast<std::size_t>(
               cluster_->link_channel(best_dev, dst_dev))];
           const double xfer_start = std::max(finish, lf);
           const double xfer =
@@ -266,7 +274,13 @@ StepResult ExecutionSimulator::RunInternal(const Placement& placement,
               link_scale(best_dev, dst_dev);
           arrival = xfer_start + xfer;
           lf = arrival;
-          transfer_cache.emplace(key, arrival);
+          if (ws.transfer_epoch[slot] != epoch) {
+            ws.transfer_epoch[slot] = epoch;
+            ws.transfer_bytes[slot] = e.bytes;
+            ws.transfer_arrival[slot] = arrival;
+          } else {
+            ws.transfer_overflow.push_back({slot, e.bytes, arrival});
+          }
           result.transfer_seconds_total += xfer;
           result.transfer_bytes_total += e.bytes;
           result.num_transfers++;
@@ -279,13 +293,12 @@ StepResult ExecutionSimulator::RunInternal(const Placement& placement,
           touch(u, dst_dev, arrival, arrival, e.bytes);
         }
       }
-      ready_time[static_cast<std::size_t>(e.dst)] =
-          std::max(ready_time[static_cast<std::size_t>(e.dst)], arrival);
-      if (--pending_inputs[static_cast<std::size_t>(e.dst)] == 0) {
-        queues[static_cast<std::size_t>(dst_dev)].push(
-            ReadyOp{ready_time[static_cast<std::size_t>(e.dst)],
-                    critical_priority_[static_cast<std::size_t>(e.dst)],
-                    e.dst});
+      const double dst_ready = raise_ready(e.dst, arrival);
+      if (decrement_pending(e.dst) == 0) {
+        push_ready(dst_dev,
+                   ReadyOp{dst_ready,
+                           critical_priority_[static_cast<std::size_t>(e.dst)],
+                           e.dst});
       }
     }
     result.step_seconds = std::max(result.step_seconds, finish);
@@ -309,8 +322,8 @@ StepResult ExecutionSimulator::RunInternal(const Placement& placement,
           g.op(i).param_bytes;
     }
     for (DeviceId d = 0; d < num_devices; ++d) {
-      const std::int64_t activation_peak =
-          PeakLiveBytes(std::move(intervals[static_cast<std::size_t>(d)]));
+      const std::int64_t activation_peak = PeakLiveBytes(
+          ws.intervals[static_cast<std::size_t>(d)], ws.event_scratch);
       const std::int64_t peak =
           result.device_param_bytes[static_cast<std::size_t>(d)] +
           static_cast<std::int64_t>(

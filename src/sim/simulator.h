@@ -27,6 +27,8 @@
 #include "sim/fault.h"
 #include "sim/memory_model.h"
 #include "sim/placement.h"
+#include "sim/sim_workspace.h"
+#include "support/resource_pool.h"
 
 namespace eagle::sim {
 
@@ -112,6 +114,10 @@ class ExecutionSimulator {
   SimulatorOptions options_;
   std::vector<graph::OpId> topo_;       // cached topological order
   std::vector<int> critical_priority_;  // longer downstream path == higher
+  // Run() is const and concurrent (EvalService workers share one
+  // simulator), so per-run scratch is leased rather than a plain member.
+  // After warm-up every lease hits the free list and runs allocation-free.
+  mutable support::ResourcePool<SimWorkspace> workspaces_;
 };
 
 }  // namespace eagle::sim

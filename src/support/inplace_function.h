@@ -1,0 +1,113 @@
+// Fixed-capacity, heap-free, move-only callable of signature void().
+//
+// Built for nn::Tape: every forward op records a backward closure, and a
+// std::function would heap-allocate one control block per tape node (the
+// captures — a few Vars plus the tape pointer — overflow libstdc++'s
+// small-buffer optimization). InplaceFunction stores the closure inline
+// in the node itself, so recording a 256-step unrolled LSTM allocates
+// nothing. Closures larger than Capacity are rejected at compile time —
+// grow the capacity consciously instead of silently falling back to the
+// heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace eagle::support {
+
+template <std::size_t Capacity>
+class InplaceFunction {
+ public:
+  InplaceFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    Emplace(std::forward<F>(f));
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { MoveFrom(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction>>>
+  InplaceFunction& operator=(F&& f) {
+    Destroy();
+    Emplace(std::forward<F>(f));
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { Destroy(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    // Move-construct into dst from src, then destroy src.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr VTable kVTableFor{
+      [](void* s) { (*static_cast<Fn*>(s))(); },
+      [](void* src, void* dst) {
+        Fn* f = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](void* s) { static_cast<Fn*>(s)->~Fn(); },
+  };
+
+  template <typename F>
+  void Emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "closure exceeds InplaceFunction capacity — grow the "
+                  "capacity parameter at the declaration site");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "closure is over-aligned for InplaceFunction storage");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "closure must be nothrow-movable (nodes relocate when "
+                  "their container grows)");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    vtable_ = &kVTableFor<Fn>;
+  }
+
+  void MoveFrom(InplaceFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(other.storage_, storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void Destroy() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace eagle::support

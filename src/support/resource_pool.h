@@ -1,0 +1,100 @@
+// Mutex-guarded LIFO free list of reusable heap objects.
+//
+// Built for sim::ExecutionSimulator's per-run workspace: Run() is const
+// and called concurrently by EvalService workers, so each in-flight run
+// leases a private workspace and returns it when done. LIFO reuse keeps
+// the hottest (cache-warm, fully grown) workspace circulating; after the
+// first few runs the pool stops allocating entirely. The lock is held
+// only for the pop/push — never while the object is in use — so the pool
+// adds two uncontended mutex operations per lease, not serialization.
+//
+// This header is part of the sanctioned concurrency layer (eagle-lint
+// CC01): client code leases objects without naming a mutex or thread.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace eagle::support {
+
+template <typename T>
+class ResourcePool {
+ public:
+  // RAII lease: returns the object to the pool on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ResourcePool* pool, std::unique_ptr<T> object)
+        : pool_(pool), object_(std::move(object)) {}
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          object_(std::move(other.object_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Return();
+        pool_ = std::exchange(other.pool_, nullptr);
+        object_ = std::move(other.object_);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Return(); }
+
+    T* get() const { return object_.get(); }
+    T& operator*() const { return *object_; }
+    T* operator->() const { return object_.get(); }
+
+   private:
+    void Return() {
+      if (pool_ != nullptr && object_ != nullptr) {
+        pool_->Release(std::move(object_));
+      }
+      pool_ = nullptr;
+    }
+
+    ResourcePool* pool_ = nullptr;
+    std::unique_ptr<T> object_;
+  };
+
+  ResourcePool() = default;
+  ResourcePool(const ResourcePool&) = delete;
+  ResourcePool& operator=(const ResourcePool&) = delete;
+
+  // Leases the most recently returned object, or default-constructs a
+  // fresh one when the free list is empty.
+  Lease Acquire() {
+    std::unique_ptr<T> object;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        object = std::move(free_.back());
+        free_.pop_back();
+      }
+    }
+    if (object == nullptr) object = std::make_unique<T>();
+    return Lease(this, std::move(object));
+  }
+
+  // Objects currently cached (not leased out). For tests and telemetry.
+  std::size_t idle_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  friend class Lease;
+
+  void Release(std::unique_ptr<T> object) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(object));
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<T>> free_;
+};
+
+}  // namespace eagle::support

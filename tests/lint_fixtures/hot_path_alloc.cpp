@@ -1,0 +1,24 @@
+// Fixture: HP01 — raw heap allocation and unordered containers in the
+// hot-path kernel layer (src/nn, src/sim/simulator.cpp). Linted by
+// test_lint.cpp under a synthetic src/nn/ path.
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+float* AllocScratch(int n) {
+  float* raw = new float[n];                    // HP01: raw new
+  void* more = std::malloc(sizeof(float) * n);  // HP01: allocator call
+  std::free(more);                              // HP01: allocator call
+  return raw;
+}
+
+std::unordered_map<int, float> g_slot_cache;  // HP01: hash map
+
+// Not findings: pooled vectors, and member APIs that merely share a
+// name with the allocator.
+template <typename Pool>
+int Recycle(Pool& pool) {
+  std::vector<int> scratch(4, 0);
+  pool.free(static_cast<int>(scratch.size()));
+  return static_cast<int>(scratch.size());
+}

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -139,6 +140,42 @@ TEST(EvalService, TrainingBitIdenticalAcrossThreadCounts) {
   ExpectBitIdentical(inline_serial, one_thread, "inline vs 1 thread");
   ExpectBitIdentical(one_thread, two_threads, "1 vs 2 threads");
   ExpectBitIdentical(one_thread, eight_threads, "1 vs 8 threads");
+}
+
+// The determinism contract extends to what lands on disk: a checkpointed
+// run must write byte-for-byte the same checkpoint file at any thread
+// count. This pins the whole serialized state — parameters, Adam slots,
+// RNG streams, env fault counters — against scheduling leaks from the
+// pooled simulator workspaces the evaluation threads now lease.
+TEST(EvalService, CheckpointBytesIdenticalAcrossThreadCounts) {
+  Fixture fix;
+
+  const auto run_checkpointed = [&](int threads, const std::string& tag) {
+    const std::string dir = ::testing::TempDir() + "/eagle_ckpt_bytes_" + tag;
+    std::filesystem::remove_all(dir);
+    auto agent = fix.Agent(21);
+    PlacementEnvironment env(fix.graph, fix.cluster, fix.EnvOptions());
+    EvalService service(env, threads);
+    auto options = fix.Options(40);
+    options.evaluator = &service;
+    options.checkpoint_dir = dir;
+    options.checkpoint_name = "bytes";
+    options.checkpoint_interval = 10;
+    rl::TrainAgent(*agent, env, options);
+
+    std::ifstream in(rl::CheckpointFilePath(dir, "bytes"),
+                     std::ios::binary);
+    EXPECT_TRUE(in.good());
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    std::filesystem::remove_all(dir);
+    return bytes.str();
+  };
+
+  const std::string one_thread = run_checkpointed(1, "t1");
+  const std::string eight_threads = run_checkpointed(8, "t8");
+  EXPECT_FALSE(one_thread.empty());
+  EXPECT_EQ(one_thread, eight_threads);
 }
 
 TEST(EvalService, BatchMatchesSerialEvaluateExactly) {

@@ -1,0 +1,203 @@
+// Bit-identity proofs for the blocked/SIMD GEMM kernels and the tensor
+// arena: the optimized kernels must match the scalar naive reference
+// (nn/naive_ref.h) bit-for-bit on every shape, NaN/Inf must propagate
+// through zero operands, and rebuilding a tape on recycled arena buffers
+// must reproduce gradients exactly.
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/arena.h"
+#include "nn/naive_ref.h"
+#include "nn/tape.h"
+#include "nn/tensor.h"
+
+namespace eagle::nn {
+namespace {
+
+// Deterministic fill with sign, magnitude, and exponent spread so any
+// reordered or re-rounded accumulation shows up as a bit difference.
+Tensor TestMatrix(int rows, int cols, std::uint32_t seed) {
+  Tensor t(rows, cols);
+  std::uint32_t state = seed * 2654435761u + 12345u;
+  float* d = t.data();
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    state = state * 1664525u + 1013904223u;
+    const float mantissa =
+        static_cast<float>(static_cast<std::int32_t>(state >> 8) -
+                           (1 << 23)) /
+        static_cast<float>(1 << 23);
+    const int exponent = static_cast<int>(state % 7u) - 3;
+    d[i] = std::ldexp(mantissa, exponent);
+  }
+  return t;
+}
+
+bool BitIdentical(const Tensor& a, const Tensor& b) {
+  if (!a.SameShape(b)) return false;
+  if (a.empty()) return true;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+using KernelFn = void (*)(const Tensor&, const Tensor&, Tensor&);
+
+// Runs optimized vs reference on a(m×k)·b(k×n)-shaped inputs (the caller
+// maps m/k/n onto the kernel's own convention) with a non-zero starting
+// out so the accumulate path is exercised too.
+void ExpectKernelMatches(KernelFn optimized, KernelFn reference, int ar,
+                         int ac, int br, int bc, int outr, int outc,
+                         std::uint32_t seed) {
+  const Tensor a = TestMatrix(ar, ac, seed);
+  const Tensor b = TestMatrix(br, bc, seed + 1);
+  Tensor out_opt = TestMatrix(outr, outc, seed + 2);
+  Tensor out_ref = out_opt;
+  optimized(a, b, out_opt);
+  reference(a, b, out_ref);
+  EXPECT_TRUE(BitIdentical(out_opt, out_ref))
+      << "kernel mismatch at " << ar << "x" << ac << " * " << br << "x" << bc;
+}
+
+// Covers full tiles, every row/column remainder class, vector shapes
+// (1×N, N×1), and empty extents.
+const int kDims[] = {0, 1, 2, 3, 5, 7, 8, 13, 16, 17, 24, 31, 33, 64};
+
+TEST(Kernels, GemmAccumBitIdenticalAcrossShapeGrid) {
+  std::uint32_t seed = 1;
+  for (int m : kDims)
+    for (int k : kDims)
+      for (int n : kDims)
+        ExpectKernelMatches(GemmAccum, naive::GemmAccum, m, k, k, n, m, n,
+                            ++seed);
+}
+
+TEST(Kernels, GemmTransAAccumBitIdenticalAcrossShapeGrid) {
+  std::uint32_t seed = 10001;
+  for (int m : kDims)
+    for (int k : kDims)
+      for (int n : kDims)
+        ExpectKernelMatches(GemmTransAAccum, naive::GemmTransAAccum, m, k, m,
+                            n, k, n, ++seed);
+}
+
+TEST(Kernels, GemmTransBAccumBitIdenticalAcrossShapeGrid) {
+  std::uint32_t seed = 20001;
+  for (int m : kDims)
+    for (int k : kDims)
+      for (int n : kDims)
+        ExpectKernelMatches(GemmTransBAccum, naive::GemmTransBAccum, m, n, k,
+                            n, m, k, ++seed);
+}
+
+// Regression for the old `if (av == 0.0f) continue;` zero-skip: a zero in
+// one operand must not suppress a NaN/Inf in the other (0 · NaN = NaN,
+// 0 · ∞ = NaN), in the optimized kernels and the reference alike.
+TEST(Kernels, ZeroTimesNanPropagates) {
+  const float kBads[] = {std::numeric_limits<float>::quiet_NaN(),
+                         std::numeric_limits<float>::infinity()};
+  for (const float bad : kBads) {
+    {
+      Tensor a = Tensor::FromData(1, 2, {0.0f, 1.0f});
+      Tensor b = Tensor::FromData(2, 1, {bad, 2.0f});
+      Tensor out(1, 1);
+      GemmAccum(a, b, out);
+      EXPECT_TRUE(std::isnan(out.at(0, 0)));
+      Tensor ref(1, 1);
+      naive::GemmAccum(a, b, ref);
+      EXPECT_TRUE(std::isnan(ref.at(0, 0)));
+    }
+    {
+      // out(1,1) = aᵀ(1×2)·b(2×1) with the zero row of a against the bad
+      // value of b.
+      Tensor a = Tensor::FromData(2, 1, {0.0f, 1.0f});
+      Tensor b = Tensor::FromData(2, 1, {bad, 2.0f});
+      Tensor out(1, 1);
+      GemmTransAAccum(a, b, out);
+      EXPECT_TRUE(std::isnan(out.at(0, 0)));
+      Tensor ref(1, 1);
+      naive::GemmTransAAccum(a, b, ref);
+      EXPECT_TRUE(std::isnan(ref.at(0, 0)));
+    }
+    {
+      Tensor a = Tensor::FromData(1, 2, {0.0f, 1.0f});
+      Tensor b = Tensor::FromData(1, 2, {bad, 2.0f});
+      Tensor out(1, 1);
+      GemmTransBAccum(a, b, out);
+      EXPECT_TRUE(std::isnan(out.at(0, 0)));
+      Tensor ref(1, 1);
+      naive::GemmTransBAccum(a, b, ref);
+      EXPECT_TRUE(std::isnan(ref.at(0, 0)));
+    }
+  }
+}
+
+std::vector<unsigned char> GradBytes(const Tensor& t) {
+  std::vector<unsigned char> bytes(
+      static_cast<std::size_t>(t.size()) * sizeof(float));
+  std::memcpy(bytes.data(), t.data(), bytes.size());
+  return bytes;
+}
+
+// One forward/backward pass of a small two-layer net on the given tape.
+void RunTapePass(Tape& tape, Parameter& w1, Parameter& w2,
+                 const Tensor& input) {
+  Var x = tape.Input(input);
+  Var h = tape.Tanh(tape.MatMul(x, tape.Param(&w1)));
+  Var y = tape.MatMul(h, tape.Param(&w2));
+  Var loss = tape.Mean(tape.Mul(y, y));
+  tape.Backward(loss);
+}
+
+TEST(Arena, TapeRebuildOnRecycledBuffersIsBitIdentical) {
+  Parameter w1{"w1", TestMatrix(8, 16, 77), Tensor()};
+  Parameter w2{"w2", TestMatrix(16, 4, 78), Tensor()};
+  const Tensor input = TestMatrix(5, 8, 79);
+
+  Tape tape;
+  RunTapePass(tape, w1, w2, input);
+  const auto g1_w1 = GradBytes(w1.grad);
+  const auto g1_w2 = GradBytes(w2.grad);
+  tape.Reset();
+
+  // The second pass performs the identical allocation sequence, so every
+  // tensor must come off the freelists the first pass refilled.
+  const ArenaStats before = ArenaStatsSnapshot();
+  w1.grad.Fill(0.0f);
+  w2.grad.Fill(0.0f);
+  RunTapePass(tape, w1, w2, input);
+  const auto g2_w1 = GradBytes(w1.grad);
+  const auto g2_w2 = GradBytes(w2.grad);
+  tape.Reset();
+  const ArenaStats after = ArenaStatsSnapshot();
+
+  EXPECT_EQ(g1_w1, g2_w1);
+  EXPECT_EQ(g1_w2, g2_w2);
+  EXPECT_EQ(after.fresh_allocs, before.fresh_allocs)
+      << "tape rebuild should not allocate";
+  EXPECT_GT(after.pool_hits, before.pool_hits);
+}
+
+TEST(Arena, TrimReleasesCachedBytes) {
+  {
+    Tensor t(64, 64);
+    t.Fill(1.0f);
+  }
+  EXPECT_GT(ArenaStatsSnapshot().pooled_bytes, 0u);
+  ArenaTrim();
+  EXPECT_EQ(ArenaStatsSnapshot().pooled_bytes, 0u);
+}
+
+TEST(Arena, CrossSizeReuseKeepsValuesIntact) {
+  // Same bucket, different logical sizes: a 65-float tensor reuses a
+  // 100-float tensor's 128-float block; contents must be fully rewritten.
+  ArenaTrim();
+  { Tensor big(10, 10, 3.0f); }
+  Tensor t(13, 5, 0.0f);
+  for (int r = 0; r < t.rows(); ++r)
+    for (int c = 0; c < t.cols(); ++c) EXPECT_EQ(t.at(r, c), 0.0f);
+}
+
+}  // namespace
+}  // namespace eagle::nn

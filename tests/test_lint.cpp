@@ -46,7 +46,7 @@ TEST(LintRules, CatalogueIsWellFormed) {
     EXPECT_FALSE(rule.summary.empty());
   }
   EXPECT_EQ(ids, (std::set<std::string>{"ND01", "ND02", "CC01", "DC01",
-                                        "CP01", "HS01", "WC01"}));
+                                        "CP01", "HS01", "WC01", "HP01"}));
 }
 
 TEST(LintRules, NondeterminismFixtureFires) {
@@ -161,6 +161,27 @@ TEST(LintRules, WallClockConfinedToSupportAndSinks) {
   EXPECT_TRUE(LintSource("src/support/metrics.cpp", src).empty());
   EXPECT_TRUE(LintSource("bench/fixture.cpp", src).empty());
   EXPECT_TRUE(LintSource("tools/fixture.cpp", src).empty());
+}
+
+TEST(LintRules, HotPathAllocFixtureFires) {
+  const std::string src = ReadFixture("hot_path_alloc.cpp");
+  const auto diags = LintSource("src/nn/fixture.cpp", src);
+  EXPECT_EQ(RuleIds(diags), std::set<std::string>{"HP01"});
+  // The <unordered_map> include, raw new, std::malloc, std::free, and the
+  // hash-map declaration; the vector scratch and the pool's member `free`
+  // stay clean.
+  EXPECT_EQ(Lines(diags), (std::set<int>{5, 9, 10, 11, 15}));
+}
+
+TEST(LintRules, HotPathAllocScopedToKernelsAndExemptsPools) {
+  const std::string src = ReadFixture("hot_path_alloc.cpp");
+  EXPECT_EQ(RuleIds(LintSource("src/sim/simulator.cpp", src)),
+            std::set<std::string>{"HP01"});
+  // The pools themselves are the sanctioned allocation layer.
+  EXPECT_TRUE(LintSource("src/nn/arena.cpp", src).empty());
+  EXPECT_TRUE(LintSource("src/sim/sim_workspace.cpp", src).empty());
+  // Outside the kernel files the rule does not apply at all.
+  EXPECT_TRUE(LintSource("src/rl/fixture.cpp", src).empty());
 }
 
 TEST(LintRules, SuppressionsSilenceFindings) {

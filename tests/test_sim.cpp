@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include "models/synthetic.h"
+#include "models/zoo.h"
 #include "sim/cost_model.h"
 #include "sim/measurement.h"
 #include "sim/memory_model.h"
+#include "sim/naive_ref.h"
 #include "sim/placement.h"
 #include "sim/simulator.h"
 
@@ -282,6 +284,173 @@ TEST(Simulator, MemoryTrackingCanBeDisabled) {
   options.track_memory = false;
   ExecutionSimulator simulator(g, cluster, options);
   EXPECT_FALSE(simulator.Run(Placement::AllOnDevice(g, cluster, 1)).oom);
+}
+
+// Exact StepResult equality (doubles compared with ==, not tolerance):
+// the workspace simulator must reproduce the frozen reference bit for
+// bit, since both fold the same costs in the same order.
+void ExpectStepResultsIdentical(const StepResult& got,
+                                const StepResult& want) {
+  EXPECT_EQ(got.oom, want.oom);
+  EXPECT_EQ(got.oom_device, want.oom_device);
+  EXPECT_EQ(got.step_seconds, want.step_seconds);
+  EXPECT_EQ(got.device_busy_seconds, want.device_busy_seconds);
+  EXPECT_EQ(got.device_peak_bytes, want.device_peak_bytes);
+  EXPECT_EQ(got.device_param_bytes, want.device_param_bytes);
+  EXPECT_EQ(got.transfer_seconds_total, want.transfer_seconds_total);
+  EXPECT_EQ(got.transfer_bytes_total, want.transfer_bytes_total);
+  EXPECT_EQ(got.num_transfers, want.num_transfers);
+  ASSERT_EQ(got.schedule.size(), want.schedule.size());
+  for (std::size_t i = 0; i < got.schedule.size(); ++i) {
+    EXPECT_EQ(got.schedule[i].op, want.schedule[i].op);
+    EXPECT_EQ(got.schedule[i].device, want.schedule[i].device);
+    EXPECT_EQ(got.schedule[i].start_seconds, want.schedule[i].start_seconds);
+    EXPECT_EQ(got.schedule[i].end_seconds, want.schedule[i].end_seconds);
+  }
+  ASSERT_EQ(got.transfers.size(), want.transfers.size());
+  for (std::size_t i = 0; i < got.transfers.size(); ++i) {
+    EXPECT_EQ(got.transfers[i].producer, want.transfers[i].producer);
+    EXPECT_EQ(got.transfers[i].src, want.transfers[i].src);
+    EXPECT_EQ(got.transfers[i].dst, want.transfers[i].dst);
+    EXPECT_EQ(got.transfers[i].bytes, want.transfers[i].bytes);
+    EXPECT_EQ(got.transfers[i].start_seconds, want.transfers[i].start_seconds);
+    EXPECT_EQ(got.transfers[i].end_seconds, want.transfers[i].end_seconds);
+  }
+}
+
+TEST(Simulator, MatchesFrozenReferenceOnModelZoo) {
+  const auto cluster = MakeDefaultCluster();
+  models::ZooOptions zoo;
+  zoo.reduced = true;
+  SimulatorOptions options;
+  options.record_schedule = true;
+  for (const auto benchmark : models::AllBenchmarks()) {
+    SCOPED_TRACE(models::BenchmarkName(benchmark));
+    const OpGraph g = models::BuildBenchmark(benchmark, zoo);
+    ExecutionSimulator simulator(g, cluster, options);
+    support::Rng rng(17);
+    // Several runs on one simulator instance: the second and third reuse
+    // the pooled workspace, so any stale epoch-stamped state shows up as
+    // a mismatch against the allocate-fresh-every-time reference.
+    for (int round = 0; round < 3; ++round) {
+      std::vector<DeviceId> devices(static_cast<std::size_t>(g.num_ops()));
+      for (auto& d : devices) {
+        d = static_cast<DeviceId>(rng.NextBelow(
+            static_cast<std::uint64_t>(cluster.num_devices())));
+      }
+      Placement placement(g, devices);
+      placement.Normalize(g, cluster);
+      ExpectStepResultsIdentical(
+          simulator.Run(placement),
+          naive::RunReference(g, cluster, options, placement, nullptr,
+                              /*record_schedule=*/true));
+    }
+  }
+}
+
+TEST(Simulator, MatchesFrozenReferenceUnderFaults) {
+  const auto cluster = MakeDefaultCluster();
+  const OpGraph g =
+      models::BuildBenchmark(models::Benchmark::kInceptionV3, {true, true});
+  SimulatorOptions options;
+  options.record_schedule = true;
+  ExecutionSimulator simulator(g, cluster, options);
+  FaultDraw faults;
+  faults.device_down.assign(static_cast<std::size_t>(cluster.num_devices()),
+                            false);
+  faults.device_compute_scale.assign(
+      static_cast<std::size_t>(cluster.num_devices()), 1.0);
+  faults.device_compute_scale[2] = 2.5;  // straggler GPU
+  faults.link_scale.assign(
+      static_cast<std::size_t>(cluster.num_link_channels()), 1.0);
+  faults.link_scale[0] = 3.0;  // degraded channel
+  support::Rng rng(23);
+  std::vector<DeviceId> devices(static_cast<std::size_t>(g.num_ops()));
+  for (auto& d : devices) {
+    d = static_cast<DeviceId>(
+        rng.NextBelow(static_cast<std::uint64_t>(cluster.num_devices())));
+  }
+  Placement placement(g, devices);
+  placement.Normalize(g, cluster);
+  ExpectStepResultsIdentical(
+      simulator.Run(placement, &faults),
+      naive::RunReference(g, cluster, options, placement, &faults,
+                          /*record_schedule=*/true));
+}
+
+TEST(Simulator, TransferDedupKeysOnExactBytes) {
+  // Two transfers from one producer to the same device with different
+  // byte sizes are distinct physical sends. The sizes below collide in
+  // the retired 32-bit byte-size hash (1000·K and 2971216073·K share
+  // their top 32 bits for K = 0x9E3779B97F4A7C15), which silently merged
+  // them into one transfer; the exact (producer, dst, bytes) key keeps
+  // both.
+  constexpr std::int64_t kSmall = 1000;
+  constexpr std::int64_t kLarge = 2971216073;  // kSmall + 2971215073
+  OpGraph g;
+  OpDef producer;
+  producer.name = "producer";
+  producer.type = OpType::kMatMul;
+  producer.flops = 1e6;
+  producer.output_shape = TensorShape{16};
+  g.AddOp(producer);
+  for (int i = 0; i < 2; ++i) {
+    OpDef use;
+    use.name = "use" + std::to_string(i);
+    use.type = OpType::kMatMul;
+    use.flops = 1e6;
+    use.output_shape = TensorShape{16};
+    g.AddOp(use);
+  }
+  g.AddEdge(0, 1, kSmall);
+  g.AddEdge(0, 2, kLarge);
+  const auto cluster = TwoGpuCluster();
+  SimulatorOptions options;
+  options.track_memory = false;  // the 2.8 GB tensor is not the point
+  ExecutionSimulator simulator(g, cluster, options);
+  std::vector<DeviceId> devices{1, 2, 2};
+  Placement placement(g, devices);
+  placement.Normalize(g, cluster);
+
+  const auto result = simulator.Run(placement);
+  EXPECT_EQ(result.num_transfers, 2);
+  EXPECT_EQ(result.transfer_bytes_total, kSmall + kLarge);
+
+  // The frozen reference still has the collision: it merges the pair.
+  const auto stale = naive::RunReference(g, cluster, options, placement);
+  EXPECT_EQ(stale.num_transfers, 1);
+
+  // Identical sizes still dedup to a single send.
+  OpGraph g2;
+  g2.AddOp(producer);
+  for (int i = 0; i < 2; ++i) {
+    OpDef use;
+    use.name = "dup" + std::to_string(i);
+    use.type = OpType::kMatMul;
+    use.flops = 1e6;
+    use.output_shape = TensorShape{16};
+    g2.AddOp(use);
+  }
+  g2.AddEdge(0, 1, kSmall);
+  g2.AddEdge(0, 2, kSmall);
+  ExecutionSimulator simulator2(g2, cluster, options);
+  Placement placement2(g2, devices);
+  placement2.Normalize(g2, cluster);
+  const auto deduped = simulator2.Run(placement2);
+  EXPECT_EQ(deduped.num_transfers, 1);
+  EXPECT_EQ(deduped.transfer_bytes_total, kSmall);
+}
+
+TEST(MemoryModel, InPlaceOverloadMatchesAndReusesScratch) {
+  const std::vector<LiveInterval> intervals{
+      {0.0, 2.0, 100}, {1.0, 3.0, 50}, {2.5, 4.0, 75}, {0.5, 0.5, 999}};
+  std::vector<MemEvent> scratch;
+  EXPECT_EQ(PeakLiveBytes(intervals, scratch), PeakLiveBytes(intervals));
+  const auto* data = scratch.data();
+  const auto capacity = scratch.capacity();
+  EXPECT_EQ(PeakLiveBytes(intervals, scratch), 150);
+  EXPECT_EQ(scratch.data(), data);  // no reallocation on reuse
+  EXPECT_EQ(scratch.capacity(), capacity);
 }
 
 TEST(Measurement, ProtocolCostAccounting) {

@@ -63,6 +63,17 @@ std::vector<RuleInfo> MakeRules() {
   rules.push_back(RuleInfo{
       "HS01", "error", "header missing #pragma once", {}, {}});
   rules.push_back(RuleInfo{
+      "HP01", "error",
+      "raw heap allocation or unordered container in a hot-path kernel "
+      "file — per-call scratch belongs to the tensor arena / SimWorkspace "
+      "pools",
+      // The NN kernel layer and the simulator inner loop: one malloc per
+      // tape node / per Run() is exactly the overhead the arena and the
+      // workspace removed, and flat epoch-stamped arrays replaced the
+      // hash maps. The pools themselves are the sanctioned layer.
+      {"src/nn/", "src/sim/simulator."},
+      {"src/nn/arena.", "src/sim/sim_workspace."}});
+  rules.push_back(RuleInfo{
       "WC01", "error",
       "raw support::Stopwatch wall-clock read in hot-path code — time "
       "phases through EAGLE_SPAN / support::metrics, which keep wall "
@@ -487,6 +498,60 @@ void CheckWallClock(const Tokens& toks, const std::string& path,
   }
 }
 
+void CheckHotPathAlloc(const Tokens& toks, const std::string& path,
+                       std::vector<Diagnostic>* out) {
+  // Allocator entry points that bypass the pools when called directly.
+  static const char* const kAllocCalls[] = {
+      "malloc", "calloc", "realloc", "aligned_alloc", "posix_memalign",
+      "free",
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind == TokKind::kPp) {
+      if (tok.text.find("include") == std::string::npos) continue;
+      for (const char* type : kUnorderedTypes) {
+        const std::string needle = std::string("<") + type + ">";
+        if (tok.text.find(needle) != std::string::npos) {
+          out->push_back(Diagnostic{
+              "HP01", path, tok.line,
+              "#include " + needle + " in a hot-path kernel file — use a "
+              "flat epoch-stamped array in the arena/workspace layer"});
+        }
+      }
+      continue;
+    }
+    if (tok.kind != TokKind::kIdentifier) continue;
+    // Member access `x.free(...)` is some other API, not the allocator.
+    const bool member_access =
+        i >= 1 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"));
+    if (tok.text == "new" && !member_access) {
+      out->push_back(Diagnostic{
+          "HP01", path, tok.line,
+          "raw 'new' in a hot-path kernel file — take scratch from the "
+          "tensor arena / SimWorkspace pools instead"});
+      continue;
+    }
+    for (const char* call : kAllocCalls) {
+      if (tok.text == call && !member_access && i + 1 < toks.size() &&
+          IsPunct(toks[i + 1], "(")) {
+        out->push_back(Diagnostic{
+            "HP01", path, tok.line,
+            "allocator call '" + tok.text + "' in a hot-path kernel file — "
+            "take scratch from the tensor arena / SimWorkspace pools "
+            "instead"});
+      }
+    }
+    for (const char* type : kUnorderedTypes) {
+      if (tok.text == type) {
+        out->push_back(Diagnostic{
+            "HP01", path, tok.line,
+            "unordered container '" + tok.text + "' in a hot-path kernel "
+            "file — use a flat epoch-stamped array (see SimWorkspace)"});
+      }
+    }
+  }
+}
+
 void CheckPragmaOnce(const Tokens& toks, const std::string& path,
                      std::vector<Diagnostic>* out) {
   if (!IsHeaderPath(path)) return;
@@ -540,6 +605,8 @@ std::vector<Diagnostic> LintSource(const std::string& rel_path,
       CheckPragmaOnce(lexed.tokens, rel_path, &raw);
     } else if (rule.id == "WC01") {
       CheckWallClock(lexed.tokens, rel_path, &raw);
+    } else if (rule.id == "HP01") {
+      CheckHotPathAlloc(lexed.tokens, rel_path, &raw);
     }
   }
 

@@ -23,6 +23,11 @@
 //         code (src/, examples/) times itself through EAGLE_SPAN /
 //         support::metrics so wall clock stays a telemetry observer;
 //         bench/ and tools/ are reporting sinks and exempt
+//   HP01  no raw heap allocation (new/malloc) and no unordered containers
+//         in the hot-path kernel files (src/nn, src/sim/simulator.cpp) —
+//         scratch comes from the tensor arena / SimWorkspace pools
+//         (src/nn/arena.*, src/sim/sim_workspace.h are the sanctioned
+//         allocation layer and exempt)
 //
 // Suppression: a `// eagle-lint: allow(ND02)` comment on the same line
 // (or the line above) waives that rule for that line. Rules, scopes and
