@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/load_graphs.h"
 #include "bench/prepr_kernels.h"
 #include "models/zoo.h"
 #include "nn/layers.h"
@@ -176,11 +177,9 @@ struct SimRow {
   double speedup = 0.0;
 };
 
-SimRow RunSimCase(models::Benchmark benchmark, bool reduced, int repeats,
-                  double target_seconds) {
-  models::ZooOptions zoo;
-  zoo.reduced = reduced;
-  const graph::OpGraph graph = models::BuildBenchmark(benchmark, zoo);
+SimRow RunSimCaseOnGraph(const std::string& label,
+                         const graph::OpGraph& graph, int repeats,
+                         double target_seconds) {
   const auto cluster = sim::MakeDefaultCluster();
   const sim::SimulatorOptions options;
   sim::ExecutionSimulator simulator(graph, cluster, options);
@@ -218,12 +217,21 @@ SimRow RunSimCase(models::Benchmark benchmark, bool reduced, int repeats,
       repeats, target_seconds);
 
   SimRow row;
-  row.graph = models::BenchmarkName(benchmark);
+  row.graph = label;
   row.num_ops = graph.num_ops();
   row.naive_steps_per_sec = 1.0 / naive.seconds_per_call;
   row.opt_steps_per_sec = 1.0 / opt.seconds_per_call;
   row.speedup = naive.seconds_per_call / opt.seconds_per_call;
   return row;
+}
+
+SimRow RunSimCase(models::Benchmark benchmark, bool reduced, int repeats,
+                  double target_seconds) {
+  models::ZooOptions zoo;
+  zoo.reduced = reduced;
+  return RunSimCaseOnGraph(models::BenchmarkName(benchmark),
+                           models::BuildBenchmark(benchmark, zoo), repeats,
+                           target_seconds);
 }
 
 std::string RenderJson(const std::vector<GemmRow>& gemm,
@@ -258,7 +266,8 @@ std::string RenderJson(const std::vector<GemmRow>& gemm,
   os << "  \"simulator\": [\n";
   for (std::size_t i = 0; i < sims.size(); ++i) {
     const auto& r = sims[i];
-    os << "    {\"graph\": \"" << r.graph << "\", \"num_ops\": " << r.num_ops
+    os << "    {\"graph\": \"" << support::json::Escape(r.graph)
+       << "\", \"num_ops\": " << r.num_ops
        << ", \"naive_steps_per_sec\": "
        << support::json::Num(r.naive_steps_per_sec)
        << ", \"opt_steps_per_sec\": "
@@ -300,7 +309,14 @@ int main(int argc, char** argv) {
   args.AddDouble("target-ms", 60.0, "per-repeat calibrated duration");
   args.AddString("out", "results/BENCH_kernels.json",
                  "output JSON path (empty string: stdout only)");
+  args.AddString("load", "",
+                 "comma-separated graph files (.eg or .json) to add as "
+                 "extra simulator rows; malformed files exit 2 with a "
+                 "file:line diagnostic");
   if (!args.Parse(argc, argv)) return 0;
+
+  const std::vector<std::string> imported =
+      bench::ImportGraphsOrExit(args.GetString("load"));
 
   const bool smoke = args.GetBool("smoke");
   const int repeats = smoke ? 2 : static_cast<int>(args.GetInt("repeats"));
@@ -343,6 +359,15 @@ int main(int argc, char** argv) {
               << r.naive_steps_per_sec << " steps/s, opt "
               << r.opt_steps_per_sec << " steps/s, speedup " << r.speedup
               << "x\n";
+  }
+  for (const std::string& name : imported) {
+    sims.push_back(RunSimCaseOnGraph(name, *models::FindImportedGraph(name),
+                                     repeats, target_seconds));
+    const auto& r = sims.back();
+    std::cout << "sim " << r.graph << " (" << r.num_ops
+              << " ops, imported): naive " << r.naive_steps_per_sec
+              << " steps/s, opt " << r.opt_steps_per_sec
+              << " steps/s, speedup " << r.speedup << "x\n";
   }
 
   const std::string json = RenderJson(gemm, sims, smoke, repeats);

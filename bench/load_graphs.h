@@ -1,0 +1,66 @@
+// --load flag plumbing shared by the benches: import user graph files
+// (.eg / .json) through the hardened ingestion pipeline and register
+// them in the model zoo so bench rows can refer to them by name.
+//
+// Kept separate from bench_common.h so bench_micro (which links only
+// nn/sim/models, not the RL stack) can use it too.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/ingest.h"
+#include "models/zoo.h"
+
+namespace eagle::bench {
+
+// Registry name for an imported file: the basename without extension
+// ("runs/my_net.eg" → "my_net").
+inline std::string ImportedGraphName(const std::string& path) {
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return name;
+}
+
+// Imports, validates and registers every file in the comma-separated
+// `list`; returns the registered names in order. A malformed graph is a
+// friendly exit 2 with the parser's file:line:column diagnostic on
+// stderr — the same convention as the tools (inspect_model,
+// trace_placement).
+inline std::vector<std::string> ImportGraphsOrExit(const std::string& list) {
+  std::vector<std::string> names;
+  std::size_t pos = 0;
+  while (pos <= list.size() && !list.empty()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string path =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!path.empty()) {
+      support::StatusOr<graph::OpGraph> parsed =
+          graph::ImportGraphFile(path);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        std::exit(2);
+      }
+      const std::string name = ImportedGraphName(path);
+      const support::Status status =
+          models::RegisterImportedGraph(name, std::move(parsed).value());
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     status.ToString().c_str());
+        std::exit(2);
+      }
+      names.push_back(name);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return names;
+}
+
+}  // namespace eagle::bench

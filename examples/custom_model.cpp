@@ -5,11 +5,13 @@
 //   $ ./custom_model [--samples=N] [--load=path/to/graph.eg]
 //                    [--dump=path/to/out.eg]
 #include <cstdio>
+#include <utility>
 
 #include "core/eagle_agent.h"
 #include "core/env.h"
 #include "core/expert_policies.h"
 #include "graph/graph_io.h"
+#include "graph/ingest.h"
 #include "models/builder.h"
 #include "models/op_cost.h"
 #include "models/training_graph.h"
@@ -75,13 +77,25 @@ int main(int argc, char** argv) {
   support::ArgParser args("EAGLE on a user-defined model");
   args.AddInt("samples", 150, "placements to evaluate");
   args.AddInt("seed", 5, "RNG seed");
-  args.AddString("load", "", "load a graph from a .eg file instead");
+  args.AddString("load", "", "load a graph from a .eg or .json file instead");
   args.AddString("dump", "", "write the graph to a .eg file and exit");
   if (!args.Parse(argc, argv)) return 0;
 
-  graph::OpGraph graph = args.GetString("load").empty()
-                             ? BuildMoeModel()
-                             : graph::LoadTextFile(args.GetString("load"));
+  graph::OpGraph graph;
+  if (args.GetString("load").empty()) {
+    graph = BuildMoeModel();
+  } else {
+    // Hardened ingestion: a malformed file is a diagnostic with the
+    // offending file:line:column and exit 2, never an abort.
+    support::StatusOr<graph::OpGraph> parsed =
+        graph::ImportGraphFile(args.GetString("load"));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "custom_model: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    graph = std::move(parsed).value();
+  }
   std::printf("model: %s\n", graph.StatsString().c_str());
   if (!args.GetString("dump").empty()) {
     if (!graph::SaveTextFile(graph, args.GetString("dump"))) {

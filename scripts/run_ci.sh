@@ -11,7 +11,12 @@
 #   5. a kernel-bench smoke run: bench_micro --smoke must complete and
 #      emit well-formed BENCH_kernels.json (tiny shapes — it guards the
 #      harness and the naive-reference plumbing, not the perf ratios;
-#      see docs/PERFORMANCE.md).
+#      see docs/PERFORMANCE.md),
+#   6. an ingestion fuzz smoke: graph_fuzz built with ASan+UBSan mutates
+#      seeded .eg/.json corpora 10k/2k times against the hardened parser
+#      (any crash or uncaught throw fails here) and runs a 100k-op
+#      generate→ingest→validate→group→simulate pass end to end (see
+#      docs/GRAPH_FORMATS.md).
 # Usage: scripts/run_ci.sh [build-dir]
 set -euo pipefail
 BUILD=${1:-build-ci}
@@ -55,5 +60,20 @@ grep -q '"smoke": true' "$SMOKE/BENCH_kernels.json"
 grep -q '"kernel": "gemm"' "$SMOKE/BENCH_kernels.json"
 grep -q '"graph": "Inception-V3"' "$SMOKE/BENCH_kernels.json"
 echo BENCH_SMOKE_CLEAN
+
+echo "=== ingestion fuzz smoke (ASan+UBSan) ==="
+# A dedicated sanitizer build of just the fuzz driver: the mutation loop
+# must never crash, throw, or trip a sanitizer — every corrupted input
+# comes back as a structured taxonomy error.
+cmake -B "$BUILD-fuzz" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DEAGLE_SANITIZE=address
+cmake --build "$BUILD-fuzz" -j --target graph_fuzz
+FUZZ="$BUILD-fuzz/tools/graph_fuzz"
+"$FUZZ" --mode=generate --ops=2000 --seed=3 --out="$SMOKE/corpus.eg"
+"$FUZZ" --mode=generate --ops=500 --seed=4 --out="$SMOKE/corpus.json"
+"$FUZZ" --mode=fuzz --in="$SMOKE/corpus.eg" --iters=10000 --seed=5
+"$FUZZ" --mode=fuzz --in="$SMOKE/corpus.json" --iters=2000 --seed=6
+"$FUZZ" --mode=e2e --ops=100000 --seed=7
+echo FUZZ_SMOKE_CLEAN
 
 echo CI_CLEAN

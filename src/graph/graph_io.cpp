@@ -2,8 +2,11 @@
 
 #include <fstream>
 #include <sstream>
+#include <utility>
 
+#include "graph/ingest.h"
 #include "support/check.h"
+#include "support/json.h"
 
 namespace eagle::graph {
 
@@ -38,12 +41,14 @@ std::string ToJson(const OpGraph& graph) {
   for (OpId i = 0; i < graph.num_ops(); ++i) {
     const OpDef& op = graph.op(i);
     if (i) os << ",";
-    os << "{\"name\":\"" << op.name << "\",\"type\":\"" << OpTypeName(op.type)
-       << "\",\"shape\":" << op.output_shape.ToString()
+    os << "{\"name\":\"" << support::json::Escape(op.name) << "\",\"type\":\""
+       << OpTypeName(op.type) << "\",\"shape\":" << op.output_shape.ToString()
        << ",\"flops\":" << op.flops << ",\"param_bytes\":" << op.param_bytes
+       << ",\"temp_bytes\":" << op.temp_bytes
        << ",\"cpu_only\":" << (op.cpu_only ? "true" : "false")
        << ",\"is_gradient\":" << (op.is_gradient ? "true" : "false")
-       << ",\"layer\":\"" << op.layer << "\"}";
+       << ",\"layer\":\"" << support::json::Escape(op.layer)
+       << "\",\"colocation\":" << op.colocation_group << "}";
   }
   os << "],\"edges\":[";
   for (int i = 0; i < graph.num_edges(); ++i) {
@@ -72,9 +77,11 @@ void SaveText(const OpGraph& graph, std::ostream& out) {
       }
     }
     out << " flops=" << op.flops << " params=" << op.param_bytes;
+    if (op.temp_bytes != 0) out << " temp=" << op.temp_bytes;
     if (op.cpu_only) out << " cpu_only";
     if (op.is_gradient) out << " grad";
     if (!op.layer.empty()) out << " layer=" << op.layer;
+    if (op.colocation_group != -1) out << " colo=" << op.colocation_group;
     out << "\n";
   }
   for (const Edge& e : graph.edges()) {
@@ -83,70 +90,14 @@ void SaveText(const OpGraph& graph, std::ostream& out) {
   }
 }
 
+// The throwing loaders are thin wrappers over the hardened StatusOr
+// parsers (graph/ingest.h): one grammar, one validator, two calling
+// conventions. Internal callers that own their inputs keep the throwing
+// contract; anything loading *user* files should call ImportGraphFile.
 OpGraph LoadText(std::istream& in) {
-  OpGraph graph;
-  std::string line;
-  int lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string kind;
-    ls >> kind;
-    if (kind == "op") {
-      OpDef op;
-      std::string type_name, shape_str;
-      ls >> op.name >> type_name >> shape_str;
-      EAGLE_CHECK_MSG(ls, "malformed op line " << lineno);
-      op.type = OpTypeFromName(type_name);
-      EAGLE_CHECK_MSG(op.type != OpType::kNumOpTypes,
-                      "unknown op type '" << type_name << "' at line "
-                                          << lineno);
-      if (shape_str != "scalar") {
-        std::vector<std::int64_t> dims;
-        std::istringstream ss(shape_str);
-        std::string tok;
-        while (std::getline(ss, tok, 'x')) dims.push_back(std::stoll(tok));
-        op.output_shape = TensorShape(std::move(dims));
-      }
-      std::string attr;
-      while (ls >> attr) {
-        if (attr.rfind("flops=", 0) == 0) {
-          op.flops = std::stod(attr.substr(6));
-        } else if (attr.rfind("params=", 0) == 0) {
-          op.param_bytes = std::stoll(attr.substr(7));
-        } else if (attr == "cpu_only") {
-          op.cpu_only = true;
-        } else if (attr == "grad") {
-          op.is_gradient = true;
-        } else if (attr.rfind("layer=", 0) == 0) {
-          op.layer = attr.substr(6);
-        } else {
-          EAGLE_CHECK_MSG(false,
-                          "unknown attribute '" << attr << "' at line "
-                                                << lineno);
-        }
-      }
-      graph.AddOp(std::move(op));
-    } else if (kind == "edge") {
-      std::string src, dst;
-      std::int64_t bytes = -1;
-      ls >> src >> dst;
-      EAGLE_CHECK_MSG(ls, "malformed edge line " << lineno);
-      ls >> bytes;  // optional; stays -1 (producer size) if absent
-      const OpId s = graph.FindOp(src);
-      const OpId d = graph.FindOp(dst);
-      EAGLE_CHECK_MSG(s != kInvalidOp, "unknown op '" << src << "' at line "
-                                                      << lineno);
-      EAGLE_CHECK_MSG(d != kInvalidOp, "unknown op '" << dst << "' at line "
-                                                      << lineno);
-      graph.AddEdge(s, d, bytes);
-    } else {
-      EAGLE_CHECK_MSG(false, "unknown directive '" << kind << "' at line "
-                                                   << lineno);
-    }
-  }
-  return graph;
+  support::StatusOr<OpGraph> parsed = ParseTextGraph(in);
+  EAGLE_CHECK_MSG(parsed.ok(), parsed.status().ToString());
+  return std::move(parsed).value();
 }
 
 bool SaveTextFile(const OpGraph& graph, const std::string& path) {
@@ -157,9 +108,9 @@ bool SaveTextFile(const OpGraph& graph, const std::string& path) {
 }
 
 OpGraph LoadTextFile(const std::string& path) {
-  std::ifstream in(path);
-  EAGLE_CHECK_MSG(in, "cannot open graph file " << path);
-  return LoadText(in);
+  support::StatusOr<OpGraph> parsed = ImportGraphFile(path);
+  EAGLE_CHECK_MSG(parsed.ok(), parsed.status().ToString());
+  return std::move(parsed).value();
 }
 
 }  // namespace eagle::graph

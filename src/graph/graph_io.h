@@ -14,14 +14,21 @@ namespace eagle::graph {
 // Graphviz DOT; groups color nodes when a grouping is supplied.
 std::string ToDot(const OpGraph& graph, const Grouping* grouping = nullptr);
 
-// Compact JSON (write-only; consumed by plotting scripts, not re-read).
+// Compact JSON; re-readable via graph/ingest.h's FromJson, and the two
+// round-trip byte-identically (FromJson(ToJson(g)) reprints to the same
+// string). Schema in docs/GRAPH_FORMATS.md.
 std::string ToJson(const OpGraph& graph);
 
-// .eg text format:
-//   op <name> <type> <shape d0xd1x...> flops=<f> params=<b> [cpu_only]
-//       [grad] [layer=<tag>]
+// .eg text format (full grammar in docs/GRAPH_FORMATS.md):
+//   op <name> <type> <shape d0xd1x...> flops=<f> params=<b> [temp=<b>]
+//       [cpu_only] [grad] [layer=<tag>] [colo=<group>]
 //   edge <src_name> <dst_name> [bytes]
 // Lines starting with '#' are comments.
+//
+// LoadText throws std::logic_error on malformed input — it is for
+// internal callers that own their inputs. User-supplied files should go
+// through graph/ingest.h (ParseTextGraph / ImportGraphFile), which
+// returns structured errors instead.
 void SaveText(const OpGraph& graph, std::ostream& out);
 OpGraph LoadText(std::istream& in);
 

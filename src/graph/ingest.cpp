@@ -1,0 +1,651 @@
+#include "graph/ingest.h"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/parse_num.h"
+#include "support/json.h"
+
+namespace eagle::graph {
+
+using support::ErrorCode;
+using support::Status;
+using support::StatusOr;
+
+namespace {
+
+// A whitespace-delimited token and the 1-based column it starts at.
+struct Tok {
+  std::string_view text;
+  int col = 0;
+};
+
+void TokenizeLine(const std::string& line, std::vector<Tok>* out) {
+  out->clear();
+  const std::string_view sv(line);
+  std::size_t i = 0;
+  while (i < sv.size()) {
+    if (sv[i] == ' ' || sv[i] == '\t') {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < sv.size() && sv[j] != ' ' && sv[j] != '\t') ++j;
+    out->push_back(Tok{sv.substr(i, j - i), static_cast<int>(i) + 1});
+    i = j;
+  }
+}
+
+// Classifies a failed numeric conversion: a token that *tried* to be a
+// number is an overflow, anything else is a syntax error.
+ErrorCode NumericFailCode(std::string_view token) {
+  return LooksNumeric(token) ? ErrorCode::kNumericOverflow
+                             : ErrorCode::kSyntax;
+}
+
+// Exact double→int64 conversion for JSON quantities; false on
+// non-finite, fractional, or out-of-range values (a bare static_cast
+// would be undefined behaviour on those).
+bool JsonToInt64(double v, std::int64_t* out) {
+  if (!std::isfinite(v) || std::floor(v) != v) return false;
+  if (v < -9223372036854775808.0 || v >= 9223372036854775808.0) return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+std::string Quote(std::string_view s) {
+  return "'" + std::string(s) + "'";
+}
+
+// Kahn's algorithm with edge attribution: when a cycle exists, reports
+// the first declared edge whose both endpoints failed to topologically
+// drain — an edge on (or feeding) the cycle — with its source position
+// when the caller tracked one.
+Status CycleCheck(const OpGraph& graph,
+                  const std::vector<std::pair<int, int>>& edge_sites,
+                  const std::string& source_name) {
+  const int n = graph.num_ops();
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (const Edge& e : graph.edges()) {
+    ++indeg[static_cast<std::size_t>(e.dst)];
+  }
+  std::vector<OpId> stack;
+  for (OpId i = 0; i < n; ++i) {
+    if (indeg[static_cast<std::size_t>(i)] == 0) stack.push_back(i);
+  }
+  int processed = 0;
+  while (!stack.empty()) {
+    const OpId u = stack.back();
+    stack.pop_back();
+    ++processed;
+    for (std::int32_t ei : graph.out_edges(u)) {
+      const OpId v = graph.edges()[static_cast<std::size_t>(ei)].dst;
+      if (--indeg[static_cast<std::size_t>(v)] == 0) stack.push_back(v);
+    }
+  }
+  if (processed == n) return Status::Ok();
+  for (std::size_t i = 0; i < graph.edges().size(); ++i) {
+    const Edge& e = graph.edges()[i];
+    if (indeg[static_cast<std::size_t>(e.src)] > 0 &&
+        indeg[static_cast<std::size_t>(e.dst)] > 0) {
+      Status status = Status::Error(
+          ErrorCode::kCycle, "edge " + Quote(graph.op(e.src).name) + " -> " +
+                                 Quote(graph.op(e.dst).name) +
+                                 " lies on a dependency cycle");
+      if (i < edge_sites.size()) {
+        status.At(source_name, edge_sites[i].first, edge_sites[i].second);
+      } else {
+        status.At(source_name);
+      }
+      return status;
+    }
+  }
+  return Status::Error(ErrorCode::kCycle, "graph contains a cycle")
+      .At(source_name);
+}
+
+// Caps + byte arithmetic + duplicate-name guard applied before an op is
+// admitted; the pre-AddOp CheckedOpBytes call is load-bearing, since
+// AddEdge's producer-size default multiplies the shape out unchecked.
+Status CheckAddOp(OpGraph* graph, OpDef op, const IngestLimits& limits) {
+  if (graph->FindOp(op.name) != kInvalidOp) {
+    return Status::Error(ErrorCode::kDuplicateOp,
+                         "op " + Quote(op.name) + " already declared");
+  }
+  if (graph->num_ops() >= limits.max_ops) {
+    return Status::Error(ErrorCode::kResourceLimit,
+                         "graph exceeds the " +
+                             std::to_string(limits.max_ops) + "-op limit");
+  }
+  if (op.output_shape.rank() > limits.max_rank) {
+    return Status::Error(ErrorCode::kResourceLimit,
+                         "op " + Quote(op.name) + " has rank " +
+                             std::to_string(op.output_shape.rank()) +
+                             ", limit is " +
+                             std::to_string(limits.max_rank));
+  }
+  std::int64_t bytes = 0;
+  Status status = CheckedOpBytes(op, &bytes);
+  if (!status.ok()) return status;
+  graph->AddOp(std::move(op));
+  return Status::Ok();
+}
+
+// Shared by both parsers once endpoints resolve to valid ids. `bytes`
+// is either >= 0 or the -1 producer-size sentinel (negative values from
+// the input must be rejected by the caller first).
+Status CheckAddEdge(OpGraph* graph, std::set<std::pair<OpId, OpId>>* pairs,
+                    OpId src, OpId dst, std::int64_t bytes,
+                    const IngestLimits& limits) {
+  if (src == dst) {
+    return Status::Error(ErrorCode::kCycle,
+                         "self edge on op " + Quote(graph->op(src).name));
+  }
+  if (!pairs->insert({src, dst}).second) {
+    return Status::Error(ErrorCode::kDuplicateEdge,
+                         "duplicate edge " + Quote(graph->op(src).name) +
+                             " -> " + Quote(graph->op(dst).name));
+  }
+  if (graph->num_edges() >= limits.max_edges) {
+    return Status::Error(ErrorCode::kResourceLimit,
+                         "graph exceeds the " +
+                             std::to_string(limits.max_edges) +
+                             "-edge limit");
+  }
+  graph->AddEdge(src, dst, bytes);
+  return Status::Ok();
+}
+
+StatusOr<OpGraph> ParseTextImpl(std::istream& in, const IngestOptions& opts) {
+  OpGraph graph;
+  std::set<std::pair<OpId, OpId>> pairs;
+  std::vector<std::pair<int, int>> edge_sites;
+  const std::string& src_name = opts.source_name;
+
+  std::string line;
+  std::vector<Tok> toks;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    TokenizeLine(line, &toks);
+    if (toks.empty() || toks[0].text[0] == '#') continue;
+
+    if (toks[0].text == "op") {
+      if (toks.size() < 4) {
+        return Status::Error(ErrorCode::kSyntax,
+                             "op line needs: op <name> <type> <shape>")
+            .At(src_name, lineno, toks[0].col);
+      }
+      OpDef op;
+      op.name = std::string(toks[1].text);
+      op.type = OpTypeFromName(std::string(toks[2].text));
+      if (op.type == OpType::kNumOpTypes) {
+        return Status::Error(ErrorCode::kUnknownOp,
+                             "unknown op type " + Quote(toks[2].text))
+            .At(src_name, lineno, toks[2].col);
+      }
+      if (toks[3].text != "scalar") {
+        std::vector<std::int64_t> dims;
+        const std::string_view shape = toks[3].text;
+        std::size_t start = 0;
+        while (true) {
+          const std::size_t x = shape.find('x', start);
+          const std::string_view dim_tok =
+              shape.substr(start, x == std::string_view::npos
+                                      ? std::string_view::npos
+                                      : x - start);
+          const int col = toks[3].col + static_cast<int>(start);
+          std::int64_t d = 0;
+          if (!ParseInt64(dim_tok, &d)) {
+            return Status::Error(NumericFailCode(dim_tok),
+                                 "bad shape dimension " + Quote(dim_tok))
+                .At(src_name, lineno, col);
+          }
+          if (d < 0) {
+            return Status::Error(ErrorCode::kNumericOverflow,
+                                 "negative shape dimension " + Quote(dim_tok))
+                .At(src_name, lineno, col);
+          }
+          dims.push_back(d);
+          if (x == std::string_view::npos) break;
+          start = x + 1;
+        }
+        op.output_shape = TensorShape(std::move(dims));
+      }
+      // The name token's position doubles as the op's: every later
+      // failure about this op (caps, byte overflow) points there.
+      const int name_col = toks[1].col;
+      for (std::size_t t = 4; t < toks.size(); ++t) {
+        const std::string_view attr = toks[t].text;
+        const int col = toks[t].col;
+        if (attr.rfind("flops=", 0) == 0) {
+          const std::string_view val = attr.substr(6);
+          double f = 0.0;
+          if (!ParseDouble(val, &f)) {
+            return Status::Error(NumericFailCode(val),
+                                 "bad flops value " + Quote(val))
+                .At(src_name, lineno, col + 6);
+          }
+          if (f < 0.0) {
+            return Status::Error(ErrorCode::kNumericOverflow,
+                                 "negative flops value " + Quote(val))
+                .At(src_name, lineno, col + 6);
+          }
+          op.flops = f;
+        } else if (attr.rfind("params=", 0) == 0) {
+          const std::string_view val = attr.substr(7);
+          std::int64_t b = 0;
+          if (!ParseInt64(val, &b)) {
+            return Status::Error(NumericFailCode(val),
+                                 "bad params value " + Quote(val))
+                .At(src_name, lineno, col + 7);
+          }
+          if (b < 0) {
+            return Status::Error(ErrorCode::kNumericOverflow,
+                                 "negative params value " + Quote(val))
+                .At(src_name, lineno, col + 7);
+          }
+          op.param_bytes = b;
+        } else if (attr.rfind("temp=", 0) == 0) {
+          const std::string_view val = attr.substr(5);
+          std::int64_t b = 0;
+          if (!ParseInt64(val, &b)) {
+            return Status::Error(NumericFailCode(val),
+                                 "bad temp value " + Quote(val))
+                .At(src_name, lineno, col + 5);
+          }
+          if (b < 0) {
+            return Status::Error(ErrorCode::kNumericOverflow,
+                                 "negative temp value " + Quote(val))
+                .At(src_name, lineno, col + 5);
+          }
+          op.temp_bytes = b;
+        } else if (attr.rfind("colo=", 0) == 0) {
+          const std::string_view val = attr.substr(5);
+          std::int64_t g = 0;
+          if (!ParseInt64(val, &g) || g < -1 ||
+              g > std::int64_t{0x7fffffff}) {
+            return Status::Error(NumericFailCode(val),
+                                 "bad colocation group " + Quote(val))
+                .At(src_name, lineno, col + 5);
+          }
+          op.colocation_group = static_cast<std::int32_t>(g);
+        } else if (attr == "cpu_only") {
+          op.cpu_only = true;
+        } else if (attr == "grad") {
+          op.is_gradient = true;
+        } else if (attr.rfind("layer=", 0) == 0) {
+          op.layer = std::string(attr.substr(6));
+        } else {
+          return Status::Error(ErrorCode::kSyntax,
+                               "unknown attribute " + Quote(attr))
+              .At(src_name, lineno, col);
+        }
+      }
+      Status status = CheckAddOp(&graph, std::move(op), opts.limits);
+      if (!status.ok()) return status.At(src_name, lineno, name_col);
+    } else if (toks[0].text == "edge") {
+      if (toks.size() < 3 || toks.size() > 4) {
+        return Status::Error(ErrorCode::kSyntax,
+                             "edge line needs: edge <src> <dst> [bytes]")
+            .At(src_name, lineno, toks[0].col);
+      }
+      const OpId s = graph.FindOp(std::string(toks[1].text));
+      if (s == kInvalidOp) {
+        return Status::Error(ErrorCode::kDanglingRef,
+                             "unknown op " + Quote(toks[1].text))
+            .At(src_name, lineno, toks[1].col);
+      }
+      const OpId d = graph.FindOp(std::string(toks[2].text));
+      if (d == kInvalidOp) {
+        return Status::Error(ErrorCode::kDanglingRef,
+                             "unknown op " + Quote(toks[2].text))
+            .At(src_name, lineno, toks[2].col);
+      }
+      std::int64_t bytes = -1;  // producer output size
+      if (toks.size() == 4) {
+        if (!ParseInt64(toks[3].text, &bytes)) {
+          return Status::Error(NumericFailCode(toks[3].text),
+                               "bad edge bytes " + Quote(toks[3].text))
+              .At(src_name, lineno, toks[3].col);
+        }
+        if (bytes < 0) {
+          return Status::Error(ErrorCode::kNumericOverflow,
+                               "negative edge bytes " + Quote(toks[3].text))
+              .At(src_name, lineno, toks[3].col);
+        }
+      }
+      Status status = CheckAddEdge(&graph, &pairs, s, d, bytes, opts.limits);
+      if (!status.ok()) return status.At(src_name, lineno, toks[1].col);
+      edge_sites.emplace_back(lineno, toks[1].col);
+    } else {
+      return Status::Error(ErrorCode::kSyntax,
+                           "unknown directive " + Quote(toks[0].text))
+          .At(src_name, lineno, toks[0].col);
+    }
+  }
+  if (in.bad()) {
+    return Status::Error(ErrorCode::kIo, "read error").At(src_name, lineno);
+  }
+
+  if (opts.validate) {
+    Status status = CycleCheck(graph, edge_sites, src_name);
+    if (!status.ok()) return status;
+    status = ValidateGraph(graph, opts.limits);
+    if (!status.ok()) return status.At(src_name);
+  }
+  return graph;
+}
+
+// 1-based line:column of a byte offset, for JSON syntax diagnostics.
+void LineColAt(const std::string& text, std::size_t offset, int* line,
+               int* col) {
+  *line = 1;
+  *col = 1;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++*line;
+      *col = 1;
+    } else {
+      ++*col;
+    }
+  }
+}
+
+StatusOr<OpGraph> FromJsonImpl(const std::string& text,
+                               const IngestOptions& opts) {
+  namespace json = support::json;
+  const std::string& src_name = opts.source_name;
+
+  std::string parse_error;
+  std::size_t error_offset = 0;
+  const json::Value root =
+      json::Value::Parse(text, &parse_error, &error_offset);
+  if (!parse_error.empty()) {
+    int line = 0, col = 0;
+    LineColAt(text, error_offset, &line, &col);
+    return Status::Error(ErrorCode::kSyntax, "JSON " + parse_error)
+        .At(src_name, line, col);
+  }
+  if (!root.is_object()) {
+    return Status::Error(ErrorCode::kSyntax,
+                         "top-level JSON value must be an object")
+        .At(src_name, 1, 1);
+  }
+  const json::Value* jops = root.Find("ops");
+  if (jops == nullptr || !jops->is_array()) {
+    return Status::Error(ErrorCode::kSyntax,
+                         "missing or non-array \"ops\" field")
+        .At(src_name);
+  }
+  const json::Value* jedges = root.Find("edges");
+  if (jedges == nullptr || !jedges->is_array()) {
+    return Status::Error(ErrorCode::kSyntax,
+                         "missing or non-array \"edges\" field")
+        .At(src_name);
+  }
+
+  OpGraph graph;
+  std::set<std::pair<OpId, OpId>> pairs;
+
+  for (std::size_t i = 0; i < jops->items().size(); ++i) {
+    const json::Value& jop = jops->items()[i];
+    const std::string ctx = "ops[" + std::to_string(i) + "]";
+    if (!jop.is_object()) {
+      return Status::Error(ErrorCode::kSyntax, ctx + " is not an object")
+          .At(src_name);
+    }
+    OpDef op;
+
+    const json::Value* name = jop.Find("name");
+    if (name == nullptr || !name->is_string() ||
+        name->string_value().empty()) {
+      return Status::Error(ErrorCode::kSyntax,
+                           ctx + " has a missing or empty \"name\"")
+          .At(src_name);
+    }
+    op.name = name->string_value();
+
+    const json::Value* type = jop.Find("type");
+    if (type == nullptr || !type->is_string()) {
+      return Status::Error(ErrorCode::kSyntax,
+                           ctx + " has a missing \"type\"")
+          .At(src_name);
+    }
+    op.type = OpTypeFromName(type->string_value());
+    if (op.type == OpType::kNumOpTypes) {
+      return Status::Error(ErrorCode::kUnknownOp,
+                           ctx + ": unknown op type " +
+                               Quote(type->string_value()))
+          .At(src_name);
+    }
+
+    const json::Value* shape = jop.Find("shape");
+    if (shape == nullptr || !shape->is_array()) {
+      return Status::Error(ErrorCode::kSyntax,
+                           ctx + " has a missing or non-array \"shape\"")
+          .At(src_name);
+    }
+    std::vector<std::int64_t> dims;
+    for (const json::Value& dim : shape->items()) {
+      std::int64_t d = 0;
+      if (!dim.is_number()) {
+        return Status::Error(ErrorCode::kSyntax,
+                             ctx + " has a non-numeric shape dimension")
+            .At(src_name);
+      }
+      if (!JsonToInt64(dim.number(), &d) || d < 0) {
+        return Status::Error(ErrorCode::kNumericOverflow,
+                             ctx + " has a negative, fractional or "
+                                   "overflowing shape dimension")
+            .At(src_name);
+      }
+      dims.push_back(d);
+    }
+    op.output_shape = TensorShape(std::move(dims));
+
+    const json::Value* flops = jop.Find("flops");
+    if (flops != nullptr) {
+      if (!flops->is_number() || !std::isfinite(flops->number()) ||
+          flops->number() < 0.0) {
+        return Status::Error(ErrorCode::kNumericOverflow,
+                             ctx + " has a bad \"flops\" value")
+            .At(src_name);
+      }
+      op.flops = flops->number();
+    }
+    struct ByteField {
+      const char* key;
+      std::int64_t* dest;
+    };
+    const ByteField byte_fields[] = {
+        {"param_bytes", &op.param_bytes},
+        {"temp_bytes", &op.temp_bytes},
+    };
+    for (const ByteField& field : byte_fields) {
+      const json::Value* v = jop.Find(field.key);
+      if (v == nullptr) continue;
+      std::int64_t b = 0;
+      if (!v->is_number() || !JsonToInt64(v->number(), &b) || b < 0) {
+        return Status::Error(ErrorCode::kNumericOverflow,
+                             ctx + " has a bad \"" +
+                                 std::string(field.key) + "\" value")
+            .At(src_name);
+      }
+      *field.dest = b;
+    }
+    struct BoolField {
+      const char* key;
+      bool* dest;
+    };
+    const BoolField bool_fields[] = {
+        {"cpu_only", &op.cpu_only},
+        {"is_gradient", &op.is_gradient},
+    };
+    for (const BoolField& field : bool_fields) {
+      const json::Value* v = jop.Find(field.key);
+      if (v == nullptr) continue;
+      if (!v->is_bool()) {
+        return Status::Error(ErrorCode::kSyntax,
+                             ctx + " has a non-boolean \"" +
+                                 std::string(field.key) + "\"")
+            .At(src_name);
+      }
+      *field.dest = v->bool_value();
+    }
+    const json::Value* layer = jop.Find("layer");
+    if (layer != nullptr) {
+      if (!layer->is_string()) {
+        return Status::Error(ErrorCode::kSyntax,
+                             ctx + " has a non-string \"layer\"")
+            .At(src_name);
+      }
+      op.layer = layer->string_value();
+    }
+    const json::Value* colo = jop.Find("colocation");
+    if (colo != nullptr) {
+      std::int64_t g = 0;
+      if (!colo->is_number() || !JsonToInt64(colo->number(), &g) || g < -1 ||
+          g > std::int64_t{0x7fffffff}) {
+        return Status::Error(ErrorCode::kNumericOverflow,
+                             ctx + " has a bad \"colocation\" value")
+            .At(src_name);
+      }
+      op.colocation_group = static_cast<std::int32_t>(g);
+    }
+
+    Status status = CheckAddOp(&graph, std::move(op), opts.limits);
+    if (!status.ok()) {
+      Status wrapped =
+          Status::Error(status.code(), ctx + ": " + status.message());
+      return wrapped.At(src_name);
+    }
+  }
+
+  for (std::size_t i = 0; i < jedges->items().size(); ++i) {
+    const json::Value& jedge = jedges->items()[i];
+    const std::string ctx = "edges[" + std::to_string(i) + "]";
+    if (!jedge.is_object()) {
+      return Status::Error(ErrorCode::kSyntax, ctx + " is not an object")
+          .At(src_name);
+    }
+    OpId endpoints[2] = {kInvalidOp, kInvalidOp};
+    const char* endpoint_keys[2] = {"src", "dst"};
+    for (int k = 0; k < 2; ++k) {
+      const json::Value* v = jedge.Find(endpoint_keys[k]);
+      if (v == nullptr || !v->is_number()) {
+        return Status::Error(ErrorCode::kSyntax,
+                             ctx + " has a missing or non-numeric \"" +
+                                 std::string(endpoint_keys[k]) + "\"")
+            .At(src_name);
+      }
+      std::int64_t id = 0;
+      if (!JsonToInt64(v->number(), &id)) {
+        return Status::Error(ErrorCode::kNumericOverflow,
+                             ctx + " has a non-integer \"" +
+                                 std::string(endpoint_keys[k]) + "\"")
+            .At(src_name);
+      }
+      if (id < 0 || id >= graph.num_ops()) {
+        return Status::Error(ErrorCode::kDanglingRef,
+                             ctx + ": \"" + std::string(endpoint_keys[k]) +
+                                 "\" " + std::to_string(id) +
+                                 " names no declared op")
+            .At(src_name);
+      }
+      endpoints[k] = static_cast<OpId>(id);
+    }
+    std::int64_t bytes = -1;  // producer output size
+    const json::Value* jbytes = jedge.Find("bytes");
+    if (jbytes != nullptr) {
+      if (!jbytes->is_number() || !JsonToInt64(jbytes->number(), &bytes) ||
+          bytes < 0) {
+        return Status::Error(ErrorCode::kNumericOverflow,
+                             ctx + " has a bad \"bytes\" value")
+            .At(src_name);
+      }
+    }
+    Status status = CheckAddEdge(&graph, &pairs, endpoints[0], endpoints[1],
+                                 bytes, opts.limits);
+    if (!status.ok()) {
+      Status wrapped =
+          Status::Error(status.code(), ctx + ": " + status.message());
+      return wrapped.At(src_name);
+    }
+  }
+
+  if (opts.validate) {
+    Status status = CycleCheck(graph, {}, src_name);
+    if (!status.ok()) return status;
+    status = ValidateGraph(graph, opts.limits);
+    if (!status.ok()) return status.At(src_name);
+  }
+  return graph;
+}
+
+// Belt and braces for the no-throw contract: nothing in the impls
+// should throw (every AddOp/AddEdge precondition is pre-checked), but a
+// latent bug must surface as a Status, not a terminate().
+template <typename Fn>
+StatusOr<OpGraph> NoThrow(const IngestOptions& opts, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::bad_alloc&) {
+    return Status::Error(ErrorCode::kResourceLimit,
+                         "out of memory while parsing")
+        .At(opts.source_name);
+  } catch (const std::exception& e) {
+    return Status::Error(ErrorCode::kSyntax,
+                         std::string("internal parser error: ") + e.what())
+        .At(opts.source_name);
+  }
+}
+
+}  // namespace
+
+StatusOr<OpGraph> ParseTextGraph(std::istream& in, const IngestOptions& opts) {
+  return NoThrow(opts, [&] { return ParseTextImpl(in, opts); });
+}
+
+StatusOr<OpGraph> ParseTextGraph(const std::string& text,
+                                 const IngestOptions& opts) {
+  std::istringstream in(text);
+  return ParseTextGraph(in, opts);
+}
+
+StatusOr<OpGraph> FromJson(const std::string& text,
+                           const IngestOptions& opts) {
+  return NoThrow(opts, [&] { return FromJsonImpl(text, opts); });
+}
+
+StatusOr<OpGraph> ImportGraphFile(const std::string& path,
+                                  const IngestOptions& opts) {
+  IngestOptions file_opts = opts;
+  file_opts.source_name = path;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Error(ErrorCode::kIo, "cannot open graph file").At(path);
+  }
+  const bool is_json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (is_json) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) {
+      return Status::Error(ErrorCode::kIo, "read error").At(path);
+    }
+    return FromJson(buffer.str(), file_opts);
+  }
+  return ParseTextGraph(in, file_opts);
+}
+
+}  // namespace eagle::graph

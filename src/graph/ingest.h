@@ -1,0 +1,62 @@
+// Hardened graph ingestion: StatusOr parsers for untrusted input.
+//
+// graph_io.h's LoadText/LoadTextFile keep their original throwing
+// contract for internal callers that own their inputs (tests, zoo
+// builders). Everything that accepts a *user-supplied* graph file —
+// inspect_model --load, trace_placement --load, bench --load, zoo
+// registration of imported graphs — goes through this module instead:
+// no input, however malformed, makes these functions throw or abort.
+// Failures come back as a support::Status carrying an error-taxonomy
+// code and the file:line:column the problem was detected at.
+//
+// Two formats are accepted:
+//   *.eg   — the line-based text format written by SaveText
+//   *.json — the object written by ToJson (FromJson closes the loop on
+//            the previously write-only JSON export)
+// Both round-trip byte-identically: parse(print(g)) reprints to the
+// same bytes. docs/GRAPH_FORMATS.md specifies the grammars, the error
+// taxonomy, and the IngestLimits defaults.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/op_graph.h"
+#include "graph/validate.h"
+#include "support/status.h"
+
+namespace eagle::graph {
+
+struct IngestOptions {
+  // Resource caps applied both during parsing (so a hostile file cannot
+  // balloon memory before validation runs) and by ValidateGraph after.
+  IngestLimits limits;
+  // Run ValidateGraph (cycle check, duplicate edges, byte arithmetic)
+  // on the parsed graph. Off only for tools that want to inspect a
+  // broken graph anyway.
+  bool validate = true;
+  // Name used in diagnostics ("<input>" for in-memory strings;
+  // ImportGraphFile overrides it with the path).
+  std::string source_name = "<input>";
+};
+
+// Parses the .eg text format. Never throws on malformed input.
+support::StatusOr<OpGraph> ParseTextGraph(std::istream& in,
+                                          const IngestOptions& opts = {});
+support::StatusOr<OpGraph> ParseTextGraph(const std::string& text,
+                                          const IngestOptions& opts = {});
+
+// Parses the JSON graph format emitted by ToJson. Never throws on
+// malformed input. Syntax errors carry line:column derived from the
+// JSON parser's byte offset; semantic errors name the offending
+// ops[i]/edges[i] entry in the message.
+support::StatusOr<OpGraph> FromJson(const std::string& text,
+                                    const IngestOptions& opts = {});
+
+// Opens `path`, dispatches on its suffix (".json" → FromJson, anything
+// else → ParseTextGraph), and uses the path as the diagnostic source
+// name. kIo when the file cannot be opened or read.
+support::StatusOr<OpGraph> ImportGraphFile(const std::string& path,
+                                           const IngestOptions& opts = {});
+
+}  // namespace eagle::graph

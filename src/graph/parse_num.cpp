@@ -1,0 +1,69 @@
+// The one sanctioned use of the raw C conversion routines in src/graph
+// (eagle-lint IN01): both are wrapped with full end-pointer, errno and
+// finiteness checks so callers only ever see bool + value.
+#include "graph/parse_num.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace eagle::graph {
+
+namespace {
+
+// strtoll/strtod need a NUL-terminated buffer; tokens are short, so a
+// stack-friendly std::string copy is fine on this cold path. Leading
+// whitespace is rejected up front — strtol-family skips it, and a graph
+// token with embedded whitespace is a tokenizer bug, not a number.
+bool PrepareToken(std::string_view token, std::string* buffer) {
+  if (token.empty()) return false;
+  const unsigned char first = static_cast<unsigned char>(token.front());
+  if (std::isspace(first)) return false;
+  buffer->assign(token.data(), token.size());
+  return true;
+}
+
+}  // namespace
+
+bool ParseInt64(std::string_view token, std::int64_t* out) {
+  std::string buffer;
+  if (!PrepareToken(token, &buffer)) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (errno == ERANGE) return false;
+  if (end != buffer.c_str() + buffer.size()) return false;
+  *out = static_cast<std::int64_t>(value);
+  return true;
+}
+
+bool ParseDouble(std::string_view token, double* out) {
+  std::string buffer;
+  if (!PrepareToken(token, &buffer)) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size()) return false;
+  // Overflow parses to ±inf with ERANGE; literal "inf"/"nan" parse
+  // cleanly — both are meaningless as op costs, so reject all of them.
+  if (errno == ERANGE || !std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+bool LooksNumeric(std::string_view token) {
+  if (token.empty()) return false;
+  bool has_digit = false;
+  for (char c : token) {
+    if (c >= '0' && c <= '9') {
+      has_digit = true;
+    } else if (c != '+' && c != '-' && c != '.' && c != 'e' && c != 'E') {
+      return false;
+    }
+  }
+  return has_digit;
+}
+
+}  // namespace eagle::graph

@@ -1,0 +1,29 @@
+// Checked string→number conversion for the graph parsers.
+//
+// std::stoll / std::stod are the wrong tool for untrusted input: they
+// throw (std::invalid_argument / std::out_of_range) and silently accept
+// trailing garbage ("12abc" → 12). These helpers never throw, require
+// the whole token to be consumed, and reject overflow and non-finite
+// values — eagle-lint rule IN01 bans the raw conversions everywhere in
+// src/graph except this file.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace eagle::graph {
+
+// Base-10 signed integer. False on empty token, non-digit characters,
+// trailing garbage, or a value outside int64 range.
+bool ParseInt64(std::string_view token, std::int64_t* out);
+
+// Decimal / scientific floating point. False on empty token, trailing
+// garbage, or a non-finite result (overflow to inf, "nan", "inf").
+bool ParseDouble(std::string_view token, double* out);
+
+// True when the token is plausibly a number (digits, sign, '.', 'e'):
+// used to classify a failed conversion as numeric-overflow (it *tried*
+// to be a number) versus plain syntax.
+bool LooksNumeric(std::string_view token);
+
+}  // namespace eagle::graph

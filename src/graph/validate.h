@@ -1,0 +1,51 @@
+// Semantic validation for ingested graphs.
+//
+// Parsing proves a file is well-formed; validation proves the resulting
+// OpGraph is a graph the rest of the system can safely consume: acyclic,
+// free of duplicate edges, with shape/byte arithmetic that cannot
+// overflow int64, and within configurable resource caps. Every external
+// entry point (inspect_model --load, trace_placement --load, bench
+// --load, zoo registration of imported graphs) runs this before the
+// graph reaches grouping or simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/op_def.h"
+#include "graph/op_graph.h"
+#include "support/status.h"
+
+namespace eagle::graph {
+
+// Resource caps for untrusted graphs. The defaults are an order of
+// magnitude above the 100k-op fuzzer stress corpus (docs/GRAPH_FORMATS.md)
+// while still bounding what a hostile input can make the process
+// allocate; entry points that trust their input can pass Unlimited().
+struct IngestLimits {
+  std::int64_t max_ops = 1'000'000;
+  std::int64_t max_edges = 8'000'000;
+  // Maximum tensor rank. Nothing in the op catalogue is deeper than 4-D;
+  // 8 leaves headroom without letting dim lists grow unbounded.
+  int max_rank = 8;
+  // Cap on the summed memory footprint (output + param + temp bytes over
+  // all ops): 4 TiB, far above any placeable graph on the simulated
+  // clusters but well inside int64.
+  std::int64_t max_total_bytes = std::int64_t{1} << 42;
+
+  static IngestLimits Unlimited();
+};
+
+// Output + param + temp bytes of one op with overflow-checked arithmetic
+// (the shape element product can overflow int64 long before Bytes()
+// would notice). kNumericOverflow when it does not fit.
+support::Status CheckedOpBytes(const OpDef& op, std::int64_t* out);
+
+// Full semantic check: names (non-empty, no whitespace — they must
+// survive the .eg text format), per-op byte arithmetic, non-negative
+// edge bytes, endpoint validity, duplicate (src,dst) pairs, acyclicity,
+// and the IngestLimits caps. Returns the first violation found, with
+// the op/edge spelled out in the message.
+support::Status ValidateGraph(const OpGraph& graph,
+                              const IngestLimits& limits = {});
+
+}  // namespace eagle::graph

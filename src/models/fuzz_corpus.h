@@ -1,0 +1,47 @@
+// Structure-aware fuzz corpus for the graph ingestion pipeline.
+//
+// Two deterministic generators (everything draws from an explicitly
+// seeded support::Rng, so a corpus regenerates bit-identically from a
+// seed):
+//   - BuildFuzzGraph: valid layered training graphs from ~10k to ~100k
+//     ops that exercise every .eg / JSON feature the serializers emit —
+//     mixed op types, ranks 0–4, cpu_only / gradient flags, layer tags,
+//     temp and colocation attributes, explicit edge byte overrides.
+//     Unlike BuildRandomDag (whose repeated fan-in picks produce
+//     duplicate edges, fine for partitioner tests but rejected by
+//     ValidateGraph), fan-in here is deduplicated: the output always
+//     passes validation and round-trips byte-identically.
+//   - MutateSerializedGraph: corrupts one serialized graph (either
+//     format) with a randomly chosen structural mutation — byte flips,
+//     token swaps, line duplication/deletion, numeric inflation,
+//     truncation. Driving these through the parsers is how tools/
+//     graph_fuzz and the CI smoke prove "no input crashes ingestion"
+//     while reaching every code in the error taxonomy.
+#pragma once
+
+#include <string>
+
+#include "graph/op_graph.h"
+#include "support/rng.h"
+
+namespace eagle::models {
+
+struct FuzzGraphConfig {
+  // Forward (pre-training-augmentation) compute ops to generate; with
+  // training=true the final graph lands at roughly 2x this plus
+  // optimizer updates.
+  int num_ops = 5000;
+  int width = 64;     // ops per layer (rank)
+  int max_fanin = 3;  // distinct producers consumed per op
+  bool training = true;
+};
+
+graph::OpGraph BuildFuzzGraph(const FuzzGraphConfig& config,
+                              support::Rng& rng);
+
+// Returns `text` with one random mutation applied. Never returns the
+// input unchanged unless the input is empty.
+std::string MutateSerializedGraph(const std::string& text,
+                                  support::Rng& rng);
+
+}  // namespace eagle::models

@@ -11,8 +11,9 @@ namespace eagle::support::json {
 // Named (not anonymous) so the friend declaration in json.h applies.
 class Parser {
  public:
-  Parser(const std::string& text, std::string* error)
-      : text_(text), error_(error) {}
+  Parser(const std::string& text, std::string* error,
+         std::size_t* error_offset = nullptr)
+      : text_(text), error_(error), error_offset_(error_offset) {}
 
   Value Run() {
     Value value = ParseValue();
@@ -32,10 +33,13 @@ class Parser {
   }
 
   void Fail(const std::string& message) {
-    if (!failed_ && error_ != nullptr) {
-      std::ostringstream os;
-      os << "at offset " << pos_ << ": " << message;
-      *error_ = os.str();
+    if (!failed_) {
+      if (error_ != nullptr) {
+        std::ostringstream os;
+        os << "at offset " << pos_ << ": " << message;
+        *error_ = os.str();
+      }
+      if (error_offset_ != nullptr) *error_offset_ = pos_;
     }
     failed_ = true;
   }
@@ -183,12 +187,18 @@ class Parser {
 
   const std::string& text_;
   std::string* error_;
+  std::size_t* error_offset_;
   std::size_t pos_ = 0;
   bool failed_ = false;
 };
 
 Value Value::Parse(const std::string& text, std::string* error) {
   return Parser(text, error).Run();
+}
+
+Value Value::Parse(const std::string& text, std::string* error,
+                   std::size_t* error_offset) {
+  return Parser(text, error, error_offset).Run();
 }
 
 const Value* Value::Find(const std::string& key) const {

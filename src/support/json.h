@@ -24,6 +24,11 @@ class Value {
   // Parses `text`. On failure returns a null Value and, when `error` is
   // non-null, stores a human-readable position + message.
   static Value Parse(const std::string& text, std::string* error = nullptr);
+  // As above, but additionally reports the byte offset the parse failed
+  // at, so callers owning the original text can turn it into line:column
+  // (the graph JSON importer does this for its diagnostics).
+  static Value Parse(const std::string& text, std::string* error,
+                     std::size_t* error_offset);
 
   Kind kind() const { return kind_; }
   bool is_null() const { return kind_ == Kind::kNull; }

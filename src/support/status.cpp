@@ -1,0 +1,58 @@
+#include "support/status.h"
+
+#include <sstream>
+
+namespace eagle::support {
+
+namespace {
+struct CodeName {
+  ErrorCode code;
+  const char* name;
+};
+constexpr CodeName kCodeNames[] = {
+    {ErrorCode::kOk, "ok"},
+    {ErrorCode::kIo, "io"},
+    {ErrorCode::kSyntax, "syntax"},
+    {ErrorCode::kUnknownOp, "unknown-op"},
+    {ErrorCode::kDuplicateOp, "duplicate-op"},
+    {ErrorCode::kDuplicateEdge, "duplicate-edge"},
+    {ErrorCode::kDanglingRef, "dangling-ref"},
+    {ErrorCode::kCycle, "cycle"},
+    {ErrorCode::kNumericOverflow, "numeric-overflow"},
+    {ErrorCode::kResourceLimit, "resource-limit"},
+};
+}  // namespace
+
+const char* ErrorCodeName(ErrorCode code) {
+  for (const CodeName& entry : kCodeNames) {
+    if (entry.code == code) return entry.name;
+  }
+  return "?";
+}
+
+bool ErrorCodeFromName(const std::string& name, ErrorCode* out) {
+  for (const CodeName& entry : kCodeNames) {
+    if (name == entry.name) {
+      *out = entry.code;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Status::ToString() const {
+  std::ostringstream os;
+  if (!file_.empty()) {
+    os << file_ << ":";
+    if (line_ > 0) {
+      os << line_ << ":";
+      if (column_ > 0) os << column_ << ":";
+    }
+    os << " ";
+  }
+  os << "[" << ErrorCodeName(code_) << "]";
+  if (!message_.empty()) os << " " << message_;
+  return os.str();
+}
+
+}  // namespace eagle::support

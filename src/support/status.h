@@ -1,0 +1,123 @@
+// Structured errors for untrusted-input paths (graph ingestion today,
+// the serving daemon's wire protocol tomorrow).
+//
+// The repo's EAGLE_CHECK macros are API-misuse guards: they throw, and a
+// throw escaping main() is an abort. That contract is right for internal
+// invariants but wrong for *input* — a malformed graph file must come
+// back as data the caller can print, count, or map to an exit code.
+// Status carries an error-taxonomy code, a message, and the input
+// position (file:line:column) the error was detected at; StatusOr<T>
+// is the return type of parsers that either produce a T or explain why
+// they could not.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "support/check.h"
+
+namespace eagle::support {
+
+// The ingestion error taxonomy (docs/GRAPH_FORMATS.md). Codes are part
+// of the tool-output contract: graph_fuzz histograms them and the
+// malformed-fixture corpus asserts them, so renames are format changes.
+enum class ErrorCode {
+  kOk = 0,
+  kIo,               // cannot open / read / write the input
+  kSyntax,           // token-level: bad directive, missing field, bad JSON
+  kUnknownOp,        // op type name not in the OpType catalogue
+  kDuplicateOp,      // op name declared twice
+  kDuplicateEdge,    // same (src, dst) pair declared twice
+  kDanglingRef,      // edge endpoint naming no declared op
+  kCycle,            // self edge or directed cycle
+  kNumericOverflow,  // non-numeric, negative or overflowing quantity
+  kResourceLimit,    // IngestLimits cap exceeded (ops/edges/bytes/rank)
+};
+
+// "ok", "io", "syntax", "unknown-op", ... (stable, kebab-case).
+const char* ErrorCodeName(ErrorCode code);
+
+// Parses ErrorCodeName output; returns false on unknown names.
+bool ErrorCodeFromName(const std::string& name, ErrorCode* out);
+
+class Status {
+ public:
+  Status() = default;  // ok
+
+  static Status Ok() { return Status(); }
+  static Status Error(ErrorCode code, std::string message) {
+    Status status;
+    status.code_ = code;
+    status.message_ = std::move(message);
+    return status;
+  }
+
+  // Attaches the input position the error was detected at. line/column
+  // are 1-based; 0 means "not applicable" (e.g. a whole-graph cycle
+  // found after parsing). Returns *this so errors read as one chain:
+  //   return Status::Error(kSyntax, "...").At(file, line, col);
+  Status& At(std::string file, int line = 0, int column = 0) {
+    file_ = std::move(file);
+    line_ = line;
+    column_ = column;
+    return *this;
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+  // "graph.eg:12:7: [syntax] unknown directive 'frob'" — the same
+  // file:line layout as compiler and eagle-lint diagnostics, so editors
+  // and CI log scrapers can jump to the offending input line.
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+  std::string file_;
+  int line_ = 0;
+  int column_ = 0;
+};
+
+// Either a T or the Status explaining why there is no T. Deliberately
+// minimal: exactly what the ingestion API needs, nothing speculative.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit from an error Status so parsers can `return status;`.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    EAGLE_CHECK_MSG(!status_.ok(), "StatusOr constructed from an ok Status");
+  }
+  // Implicit from a value so parsers can `return graph;`.
+  StatusOr(T value) : value_(std::move(value)), has_value_(true) {}  // NOLINT
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EAGLE_CHECK_MSG(has_value_, "value() on error StatusOr: "
+                                    << status_.ToString());
+    return value_;
+  }
+  T& value() & {
+    EAGLE_CHECK_MSG(has_value_, "value() on error StatusOr: "
+                                    << status_.ToString());
+    return value_;
+  }
+  T&& value() && {
+    EAGLE_CHECK_MSG(has_value_, "value() on error StatusOr: "
+                                    << status_.ToString());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_ = false;
+};
+
+}  // namespace eagle::support

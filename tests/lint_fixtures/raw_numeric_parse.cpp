@@ -1,0 +1,24 @@
+// IN01 fixture: raw numeric conversions in the ingestion layer. Seeded
+// violations — this file is excluded from the real-tree lint.
+#include <cstdlib>
+#include <string>
+
+long long ParseCount(const std::string& token) {
+  return std::stoll(token);  // line 7: throws on overflow
+}
+
+double ParseRatio(const char* token) {
+  return strtod(token, nullptr);  // line 11: saturates silently
+}
+
+int ParsePair(const char* line, int* a, int* b) {
+  return sscanf(line, "%d %d", a, b);  // line 15
+}
+
+// Clean: member access named like a conversion is some other API, and a
+// mere mention of stoll in a comment or variable name never fires.
+struct Reader;
+long long ViaMember(const Reader& r, const std::string& s) {
+  int stod = 0;  // a variable named stod, never called
+  return r.stoll(s) + stod;
+}

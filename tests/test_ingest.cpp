@@ -1,0 +1,505 @@
+// Hardened-ingestion tests: the Status taxonomy, the checked numeric
+// conversions, the malformed-fixture corpus (tests/graph_fixtures/, one
+// line-exact assertion per taxonomy code), byte-identical round-trips
+// through both serialization formats, a deterministic mutation-fuzz
+// smoke, a stress-scale end-to-end run, ValidateGraph semantics, and the
+// imported-graph zoo registry.
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph_io.h"
+#include "graph/grouped_graph.h"
+#include "graph/ingest.h"
+#include "graph/parse_num.h"
+#include "graph/validate.h"
+#include "gtest/gtest.h"
+#include "models/fuzz_corpus.h"
+#include "models/zoo.h"
+#include "partition/metis_like.h"
+#include "sim/device.h"
+#include "sim/placement.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace eagle {
+namespace {
+
+using graph::IngestLimits;
+using graph::IngestOptions;
+using graph::OpDef;
+using graph::OpGraph;
+using graph::OpType;
+using graph::TensorShape;
+using support::ErrorCode;
+using support::Status;
+using support::StatusOr;
+
+std::string FixturePath(const std::string& name) {
+  return std::string(EAGLE_SOURCE_DIR) + "/tests/graph_fixtures/" + name;
+}
+
+OpGraph MakeTinyGraph() {
+  OpGraph g;
+  OpDef a;
+  a.name = "a";
+  a.type = OpType::kMatMul;
+  a.output_shape = TensorShape{4, 4};
+  g.AddOp(std::move(a));
+  OpDef b;
+  b.name = "b";
+  b.type = OpType::kRelu;
+  b.output_shape = TensorShape{4, 4};
+  g.AddOp(std::move(b));
+  g.AddEdge(0, 1);
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Status / taxonomy basics.
+
+TEST(Status, DefaultIsOkAndErrorsCarryPosition) {
+  EXPECT_TRUE(Status().ok());
+  EXPECT_EQ(Status().code(), ErrorCode::kOk);
+
+  Status s = Status::Error(ErrorCode::kSyntax, "unknown directive 'frob'")
+                 .At("graph.eg", 12, 7);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kSyntax);
+  EXPECT_EQ(s.file(), "graph.eg");
+  EXPECT_EQ(s.line(), 12);
+  EXPECT_EQ(s.column(), 7);
+  EXPECT_EQ(s.ToString(), "graph.eg:12:7: [syntax] unknown directive 'frob'");
+}
+
+TEST(Status, CodeNamesRoundTrip) {
+  const ErrorCode codes[] = {
+      ErrorCode::kOk,          ErrorCode::kIo,
+      ErrorCode::kSyntax,      ErrorCode::kUnknownOp,
+      ErrorCode::kDuplicateOp, ErrorCode::kDuplicateEdge,
+      ErrorCode::kDanglingRef, ErrorCode::kCycle,
+      ErrorCode::kNumericOverflow, ErrorCode::kResourceLimit,
+  };
+  for (ErrorCode code : codes) {
+    ErrorCode parsed = ErrorCode::kOk;
+    ASSERT_TRUE(support::ErrorCodeFromName(support::ErrorCodeName(code),
+                                           &parsed))
+        << support::ErrorCodeName(code);
+    EXPECT_EQ(parsed, code);
+  }
+  ErrorCode ignored;
+  EXPECT_FALSE(support::ErrorCodeFromName("frobnicate", &ignored));
+}
+
+TEST(Status, StatusOrMovesTheValueOut) {
+  StatusOr<std::string> ok(std::string("payload"));
+  ASSERT_TRUE(ok.ok());
+  const std::string moved = std::move(ok).value();
+  EXPECT_EQ(moved, "payload");
+
+  StatusOr<std::string> err(Status::Error(ErrorCode::kIo, "nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), ErrorCode::kIo);
+}
+
+// ---------------------------------------------------------------------------
+// Checked numeric conversions.
+
+TEST(ParseNum, Int64AcceptsOnlyCompleteInRangeTokens) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(graph::ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(graph::ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(graph::ParseInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+
+  EXPECT_FALSE(graph::ParseInt64("", &v));
+  EXPECT_FALSE(graph::ParseInt64("12abc", &v));   // trailing garbage
+  EXPECT_FALSE(graph::ParseInt64(" 12", &v));     // leading whitespace
+  EXPECT_FALSE(graph::ParseInt64("1.5", &v));
+  EXPECT_FALSE(graph::ParseInt64("9223372036854775808", &v));  // overflow
+  EXPECT_FALSE(graph::ParseInt64("99999999999999999999", &v));
+}
+
+TEST(ParseNum, DoubleRejectsGarbageAndNonFinite) {
+  double v = 0.0;
+  EXPECT_TRUE(graph::ParseDouble("2.5", &v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(graph::ParseDouble("1e9", &v));
+  EXPECT_DOUBLE_EQ(v, 1e9);
+  EXPECT_TRUE(graph::ParseDouble("-3", &v));
+
+  EXPECT_FALSE(graph::ParseDouble("", &v));
+  EXPECT_FALSE(graph::ParseDouble("1.5x", &v));
+  EXPECT_FALSE(graph::ParseDouble("1e999", &v));  // overflows to inf
+  EXPECT_FALSE(graph::ParseDouble("inf", &v));
+  EXPECT_FALSE(graph::ParseDouble("nan", &v));
+}
+
+TEST(ParseNum, LooksNumericClassifiesFailedConversions) {
+  EXPECT_TRUE(graph::LooksNumeric("99999999999999999999"));
+  EXPECT_TRUE(graph::LooksNumeric("-5"));
+  EXPECT_TRUE(graph::LooksNumeric("1e999"));
+  EXPECT_FALSE(graph::LooksNumeric("abc"));
+  EXPECT_FALSE(graph::LooksNumeric(""));
+}
+
+// ---------------------------------------------------------------------------
+// The malformed-fixture corpus: every file must come back as the
+// manifest's taxonomy code, at the manifest's line, never as a throw.
+
+struct FixtureCase {
+  std::string file;
+  ErrorCode code = ErrorCode::kOk;
+  int line = -1;  // -1: no line attribution expected
+  bool tiny = false;
+};
+
+std::vector<FixtureCase> ReadManifest() {
+  std::ifstream in(FixturePath("MANIFEST"));
+  EXPECT_TRUE(in.good()) << "missing " << FixturePath("MANIFEST");
+  std::vector<FixtureCase> cases;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    FixtureCase c;
+    std::string code, line_spec, flag;
+    fields >> c.file >> code >> line_spec >> flag;
+    EXPECT_TRUE(support::ErrorCodeFromName(code, &c.code))
+        << "bad code in MANIFEST: " << line;
+    if (line_spec != "-") c.line = std::stoi(line_spec);
+    c.tiny = flag == "tiny";
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+TEST(FixtureCorpus, EveryFixtureFailsWithItsDocumentedCodeAndLine) {
+  const std::vector<FixtureCase> cases = ReadManifest();
+  ASSERT_GE(cases.size(), 40u) << "fixture corpus shrank";
+  for (const FixtureCase& c : cases) {
+    IngestOptions opts;
+    if (c.tiny) {
+      opts.limits.max_ops = 4;
+      opts.limits.max_edges = 3;
+      opts.limits.max_total_bytes = 4096;
+    }
+    const std::string path = FixturePath(c.file);
+    const StatusOr<OpGraph> parsed = graph::ImportGraphFile(path, opts);
+    ASSERT_FALSE(parsed.ok()) << c.file << " unexpectedly parsed";
+    const Status& status = parsed.status();
+    EXPECT_EQ(support::ErrorCodeName(status.code()),
+              std::string(support::ErrorCodeName(c.code)))
+        << c.file << ": " << status.ToString();
+    EXPECT_EQ(status.file(), path) << status.ToString();
+    if (c.line >= 0) {
+      EXPECT_EQ(status.line(), c.line)
+          << c.file << ": " << status.ToString();
+    }
+    EXPECT_FALSE(status.message().empty());
+  }
+}
+
+TEST(FixtureCorpus, CoversTheWholeTaxonomy) {
+  // Every code except kOk and kIo (kIo needs an unopenable file, covered
+  // by ImportGraphFile.MissingFileIsIo below) must appear in the corpus.
+  std::map<ErrorCode, int> seen;
+  for (const FixtureCase& c : ReadManifest()) seen[c.code]++;
+  for (ErrorCode code :
+       {ErrorCode::kSyntax, ErrorCode::kUnknownOp, ErrorCode::kDuplicateOp,
+        ErrorCode::kDuplicateEdge, ErrorCode::kDanglingRef, ErrorCode::kCycle,
+        ErrorCode::kNumericOverflow, ErrorCode::kResourceLimit}) {
+    EXPECT_GT(seen[code], 0) << "no fixture for "
+                             << support::ErrorCodeName(code);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips: parse(print(g)) must reprint to the same bytes, for both
+// formats, over the zoo benchmarks and a seeded fuzz-corpus sample.
+
+std::string SaveTextString(const OpGraph& g) {
+  std::ostringstream os;
+  graph::SaveText(g, os);
+  return os.str();
+}
+
+void ExpectByteIdenticalRoundTrips(const OpGraph& g, const std::string& tag) {
+  const std::string text = SaveTextString(g);
+  StatusOr<OpGraph> from_text = graph::ParseTextGraph(text);
+  ASSERT_TRUE(from_text.ok()) << tag << ": " << from_text.status().ToString();
+  EXPECT_EQ(from_text.value().num_ops(), g.num_ops()) << tag;
+  EXPECT_EQ(from_text.value().num_edges(), g.num_edges()) << tag;
+  EXPECT_EQ(SaveTextString(from_text.value()), text)
+      << tag << ": .eg round-trip is not byte-identical";
+
+  const std::string json = graph::ToJson(g);
+  StatusOr<OpGraph> from_json = graph::FromJson(json);
+  ASSERT_TRUE(from_json.ok()) << tag << ": " << from_json.status().ToString();
+  EXPECT_EQ(graph::ToJson(from_json.value()), json)
+      << tag << ": JSON round-trip is not byte-identical";
+}
+
+TEST(RoundTrip, ZooBenchmarksSurviveBothFormats) {
+  for (models::Benchmark benchmark : models::AllBenchmarks()) {
+    models::ZooOptions options;
+    options.reduced = true;
+    ExpectByteIdenticalRoundTrips(models::BuildBenchmark(benchmark, options),
+                                  models::BenchmarkName(benchmark));
+  }
+}
+
+TEST(RoundTrip, FiftySeededFuzzGraphsSurviveBothFormats) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    models::FuzzGraphConfig config;
+    config.num_ops = 40;
+    config.width = 8;
+    support::Rng rng(seed);
+    const OpGraph g = models::BuildFuzzGraph(config, rng);
+    ExpectByteIdenticalRoundTrips(g, "fuzz seed " + std::to_string(seed));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation-fuzz smoke: a deterministic slice of what scripts/run_ci.sh
+// runs at 10k iterations under ASan/UBSan. Every mutant must come back
+// as either a parsed graph or a structured status — the ASSERT_NO_THROW
+// is the no-crash/no-throw contract.
+
+TEST(MutationFuzz, TextMutantsAlwaysYieldStructuredResults) {
+  models::FuzzGraphConfig config;
+  config.num_ops = 120;
+  config.width = 16;
+  support::Rng build_rng(7);
+  const std::string base = SaveTextString(
+      models::BuildFuzzGraph(config, build_rng));
+
+  support::Rng rng(1234);
+  std::map<std::string, int> histogram;
+  for (int i = 0; i < 2500; ++i) {
+    std::string mutant = base;
+    const int depth = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int d = 0; d < depth; ++d) {
+      mutant = models::MutateSerializedGraph(mutant, rng);
+    }
+    StatusOr<OpGraph> parsed = graph::ParseTextGraph("");
+    ASSERT_NO_THROW(parsed = graph::ParseTextGraph(mutant)) << "iter " << i;
+    if (parsed.ok()) {
+      ++histogram["ok"];
+    } else {
+      EXPECT_EQ(parsed.status().file(), "<input>");
+      ++histogram[support::ErrorCodeName(parsed.status().code())];
+    }
+  }
+  int total = 0;
+  for (const auto& [code, count] : histogram) total += count;
+  EXPECT_EQ(total, 2500);
+  // The corpus is seeded and deterministic: the mutation strategies must
+  // keep driving a broad slice of the taxonomy, not collapse into one
+  // failure mode.
+  EXPECT_GT(histogram["syntax"], 0);
+  EXPECT_GT(histogram["duplicate-op"], 0);
+  EXPECT_GT(histogram["dangling-ref"], 0);
+  EXPECT_GT(histogram["numeric-overflow"], 0);
+}
+
+TEST(MutationFuzz, JsonMutantsAlwaysYieldStructuredResults) {
+  models::FuzzGraphConfig config;
+  config.num_ops = 60;
+  config.width = 8;
+  support::Rng build_rng(11);
+  const std::string base =
+      graph::ToJson(models::BuildFuzzGraph(config, build_rng));
+
+  support::Rng rng(5678);
+  int ok = 0, failed = 0;
+  for (int i = 0; i < 1500; ++i) {
+    std::string mutant = base;
+    const int depth = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int d = 0; d < depth; ++d) {
+      mutant = models::MutateSerializedGraph(mutant, rng);
+    }
+    StatusOr<OpGraph> parsed = graph::FromJson("{}");
+    ASSERT_NO_THROW(parsed = graph::FromJson(mutant)) << "iter " << i;
+    parsed.ok() ? ++ok : ++failed;
+  }
+  EXPECT_EQ(ok + failed, 1500);
+  EXPECT_GT(failed, 0);  // mutations do corrupt
+}
+
+// ---------------------------------------------------------------------------
+// Stress end-to-end: generate ~10k ops, serialize, re-ingest through the
+// hardened path, then drive the result through grouping and simulation —
+// proving an ingested graph is a first-class citizen downstream.
+
+TEST(EndToEnd, TenThousandOpIngestedGraphGroupsAndSimulates) {
+  models::FuzzGraphConfig config;
+  config.num_ops = 5000;  // training augmentation roughly doubles this
+  support::Rng rng(42);
+  const OpGraph generated = models::BuildFuzzGraph(config, rng);
+  ASSERT_GT(generated.num_ops(), 9000);
+
+  IngestOptions opts;
+  opts.source_name = "<e2e>";
+  StatusOr<OpGraph> parsed =
+      graph::ParseTextGraph(SaveTextString(generated), opts);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const OpGraph& graph = parsed.value();
+  EXPECT_EQ(graph.num_ops(), generated.num_ops());
+  EXPECT_EQ(graph.num_edges(), generated.num_edges());
+
+  const auto cluster = sim::MakeDefaultCluster();
+  partition::MetisOptions metis;
+  metis.num_parts = 4 * cluster.num_devices();
+  metis.seed = 42;
+  const auto grouping = partition::MetisPartition(graph, metis);
+  graph::GroupedGraph grouped(graph, grouping, metis.num_parts);
+  const auto gpus = cluster.Gpus();
+  std::vector<std::int32_t> group_devices(
+      static_cast<std::size_t>(metis.num_parts));
+  for (int g = 0; g < metis.num_parts; ++g) {
+    group_devices[static_cast<std::size_t>(g)] =
+        gpus[static_cast<std::size_t>(g) % gpus.size()];
+  }
+  sim::Placement placement(graph, grouped.ExpandToOps(group_devices));
+  placement.Normalize(graph, cluster);
+  sim::ExecutionSimulator simulator(graph, cluster);
+  const auto result = simulator.Run(placement);
+  EXPECT_GT(result.step_seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// ValidateGraph semantics on hand-built graphs.
+
+TEST(ValidateGraph, AcceptsAWellFormedGraph) {
+  EXPECT_TRUE(graph::ValidateGraph(MakeTinyGraph()).ok());
+}
+
+TEST(ValidateGraph, RejectsCyclesDuplicatesAndBadNames) {
+  OpGraph cyclic = MakeTinyGraph();
+  cyclic.AddEdge(1, 0);
+  EXPECT_EQ(graph::ValidateGraph(cyclic).code(), ErrorCode::kCycle);
+
+  OpGraph dup = MakeTinyGraph();
+  dup.AddEdge(0, 1);  // OpGraph itself permits the duplicate
+  EXPECT_EQ(graph::ValidateGraph(dup).code(), ErrorCode::kDuplicateEdge);
+
+  OpGraph bad_name;
+  OpDef op;
+  op.name = "with space";
+  op.type = OpType::kMatMul;
+  bad_name.AddOp(std::move(op));
+  EXPECT_EQ(graph::ValidateGraph(bad_name).code(), ErrorCode::kSyntax);
+}
+
+TEST(ValidateGraph, EnforcesResourceLimits) {
+  const OpGraph g = MakeTinyGraph();
+  IngestLimits one_op;
+  one_op.max_ops = 1;
+  EXPECT_EQ(graph::ValidateGraph(g, one_op).code(),
+            ErrorCode::kResourceLimit);
+
+  IngestLimits no_edges;
+  no_edges.max_edges = 0;
+  EXPECT_EQ(graph::ValidateGraph(g, no_edges).code(),
+            ErrorCode::kResourceLimit);
+
+  IngestLimits tiny_bytes;
+  tiny_bytes.max_total_bytes = 16;  // 4x4 floats alone exceed this
+  EXPECT_EQ(graph::ValidateGraph(g, tiny_bytes).code(),
+            ErrorCode::kResourceLimit);
+
+  EXPECT_TRUE(graph::ValidateGraph(g, IngestLimits::Unlimited()).ok());
+}
+
+TEST(ValidateGraph, CheckedOpBytesRejectsOverflowingShapes) {
+  OpDef sane;
+  sane.name = "a";
+  sane.output_shape = TensorShape{8, 8};
+  sane.param_bytes = 100;
+  sane.temp_bytes = 10;
+  std::int64_t bytes = 0;
+  ASSERT_TRUE(graph::CheckedOpBytes(sane, &bytes).ok());
+  EXPECT_EQ(bytes, 8 * 8 * 4 + 100 + 10);
+
+  OpDef huge;
+  huge.name = "b";
+  huge.output_shape = TensorShape{3'000'000'000, 3'000'000'000};
+  EXPECT_EQ(graph::CheckedOpBytes(huge, &bytes).code(),
+            ErrorCode::kNumericOverflow);
+}
+
+// ---------------------------------------------------------------------------
+// File-level dispatch and the io code.
+
+TEST(ImportGraphFile, MissingFileIsIo) {
+  const StatusOr<OpGraph> parsed =
+      graph::ImportGraphFile("/nonexistent/no_such_graph.eg");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), ErrorCode::kIo);
+  EXPECT_EQ(parsed.status().file(), "/nonexistent/no_such_graph.eg");
+}
+
+TEST(ImportGraphFile, DispatchesOnSuffix) {
+  const OpGraph g = MakeTinyGraph();
+  const std::string eg_path = testing::TempDir() + "ingest_dispatch.eg";
+  const std::string json_path = testing::TempDir() + "ingest_dispatch.json";
+  ASSERT_TRUE(graph::SaveTextFile(g, eg_path));
+  {
+    std::ofstream out(json_path, std::ios::binary);
+    out << graph::ToJson(g);
+    ASSERT_TRUE(out.good());
+  }
+  const StatusOr<OpGraph> from_eg = graph::ImportGraphFile(eg_path);
+  ASSERT_TRUE(from_eg.ok()) << from_eg.status().ToString();
+  EXPECT_EQ(from_eg.value().num_ops(), 2);
+  const StatusOr<OpGraph> from_json = graph::ImportGraphFile(json_path);
+  ASSERT_TRUE(from_json.ok()) << from_json.status().ToString();
+  EXPECT_EQ(from_json.value().num_ops(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// The imported-graph registry (bench --load's backing store).
+
+TEST(ImportedGraphRegistry, RegistersFindsAndRejectsCollisions) {
+  models::ClearImportedGraphs();
+  ASSERT_TRUE(models::RegisterImportedGraph("mygraph", MakeTinyGraph()).ok());
+  ASSERT_NE(models::FindImportedGraph("mygraph"), nullptr);
+  EXPECT_EQ(models::FindImportedGraph("mygraph")->num_ops(), 2);
+  EXPECT_EQ(models::ImportedGraphNames(),
+            std::vector<std::string>{"mygraph"});
+  EXPECT_EQ(models::FindImportedGraph("absent"), nullptr);
+
+  // Duplicate and benchmark-colliding names are rejected.
+  EXPECT_EQ(models::RegisterImportedGraph("mygraph", MakeTinyGraph()).code(),
+            ErrorCode::kDuplicateOp);
+  EXPECT_EQ(models::RegisterImportedGraph("bert", MakeTinyGraph()).code(),
+            ErrorCode::kDuplicateOp);
+  EXPECT_EQ(models::RegisterImportedGraph("", MakeTinyGraph()).code(),
+            ErrorCode::kSyntax);
+
+  models::ClearImportedGraphs();
+  EXPECT_EQ(models::FindImportedGraph("mygraph"), nullptr);
+  EXPECT_TRUE(models::ImportedGraphNames().empty());
+}
+
+TEST(ImportedGraphRegistry, RevalidatesAtRegistration) {
+  models::ClearImportedGraphs();
+  OpGraph cyclic = MakeTinyGraph();
+  cyclic.AddEdge(1, 0);
+  const Status status =
+      models::RegisterImportedGraph("broken", std::move(cyclic));
+  EXPECT_EQ(status.code(), ErrorCode::kCycle);
+  EXPECT_EQ(models::FindImportedGraph("broken"), nullptr);
+  models::ClearImportedGraphs();
+}
+
+}  // namespace
+}  // namespace eagle

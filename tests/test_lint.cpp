@@ -46,7 +46,8 @@ TEST(LintRules, CatalogueIsWellFormed) {
     EXPECT_FALSE(rule.summary.empty());
   }
   EXPECT_EQ(ids, (std::set<std::string>{"ND01", "ND02", "CC01", "DC01",
-                                        "CP01", "HS01", "WC01", "HP01"}));
+                                        "CP01", "HS01", "WC01", "HP01",
+                                        "IN01"}));
 }
 
 TEST(LintRules, NondeterminismFixtureFires) {
@@ -182,6 +183,24 @@ TEST(LintRules, HotPathAllocScopedToKernelsAndExemptsPools) {
   EXPECT_TRUE(LintSource("src/sim/sim_workspace.cpp", src).empty());
   // Outside the kernel files the rule does not apply at all.
   EXPECT_TRUE(LintSource("src/rl/fixture.cpp", src).empty());
+}
+
+TEST(LintRules, RawNumericParseFixtureFires) {
+  const std::string src = ReadFixture("raw_numeric_parse.cpp");
+  const auto diags = LintSource("src/graph/ingest.cpp", src);
+  EXPECT_EQ(RuleIds(diags), std::set<std::string>{"IN01"});
+  // std::stoll, strtod and sscanf calls; the member access and the
+  // variable named stod stay clean.
+  EXPECT_EQ(Lines(diags), (std::set<int>{7, 11, 15}));
+}
+
+TEST(LintRules, RawNumericParseScopedToGraphLayer) {
+  const std::string src = ReadFixture("raw_numeric_parse.cpp");
+  // parse_num.* is the sanctioned conversion layer; src/support parses
+  // trusted input (args, telemetry JSON) and is out of scope entirely.
+  EXPECT_TRUE(LintSource("src/graph/parse_num.cpp", src).empty());
+  EXPECT_TRUE(LintSource("src/support/json.cpp", src).empty());
+  EXPECT_TRUE(LintSource("tools/fixture.cpp", src).empty());
 }
 
 TEST(LintRules, SuppressionsSilenceFindings) {

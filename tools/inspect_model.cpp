@@ -9,8 +9,10 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <utility>
 
 #include "graph/graph_io.h"
+#include "graph/ingest.h"
 #include "models/zoo.h"
 #include "sim/measurement.h"
 #include "support/args.h"
@@ -21,7 +23,8 @@ using namespace eagle;
 int main(int argc, char** argv) {
   support::ArgParser args("EAGLE model inspector");
   args.AddString("model", "bert", "inception_v3 | gnmt | bert");
-  args.AddString("load", "", "load a .eg graph instead of a benchmark");
+  args.AddString("load", "",
+                 "load a .eg or .json graph instead of a benchmark");
   args.AddString("dot", "", "write Graphviz DOT here");
   args.AddString("json", "", "write JSON here");
   args.AddString("eg", "", "write .eg text format here");
@@ -29,11 +32,22 @@ int main(int argc, char** argv) {
   args.AddBool("types", false, "print the per-op-type breakdown");
   if (!args.Parse(argc, argv)) return 0;
 
-  graph::OpGraph graph =
-      args.GetString("load").empty()
-          ? models::BuildBenchmark(
-                models::BenchmarkFromName(args.GetString("model")))
-          : graph::LoadTextFile(args.GetString("load"));
+  graph::OpGraph graph;
+  if (args.GetString("load").empty()) {
+    graph = models::BuildBenchmark(
+        models::BenchmarkFromName(args.GetString("model")));
+  } else {
+    // Hardened ingestion: a malformed file is a diagnostic with the
+    // offending file:line:column and exit 2, never an abort.
+    support::StatusOr<graph::OpGraph> parsed =
+        graph::ImportGraphFile(args.GetString("load"));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "inspect_model: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    graph = std::move(parsed).value();
+  }
   std::printf("%s\n", graph.StatsString().c_str());
 
   const auto cluster = sim::MakeDefaultCluster();

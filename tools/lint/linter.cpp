@@ -74,6 +74,15 @@ std::vector<RuleInfo> MakeRules() {
       {"src/nn/", "src/sim/simulator."},
       {"src/nn/arena.", "src/sim/sim_workspace."}});
   rules.push_back(RuleInfo{
+      "IN01", "error",
+      "raw numeric conversion in the graph-ingestion layer — std::stoll "
+      "throws and strtod saturates silently on hostile input; classify "
+      "failures through graph::ParseInt64 / graph::ParseDouble",
+      // Only src/graph: json.cpp (strtod) and args.cpp (stoll) live in
+      // src/support and parse trusted, non-adversarial input.
+      {"src/graph/"},
+      {"src/graph/parse_num."}});
+  rules.push_back(RuleInfo{
       "WC01", "error",
       "raw support::Stopwatch wall-clock read in hot-path code — time "
       "phases through EAGLE_SPAN / support::metrics, which keep wall "
@@ -144,6 +153,14 @@ const char* const kMutatingMembers[] = {
 const char* const kUnorderedTypes[] = {
     "unordered_map", "unordered_set", "unordered_multimap",
     "unordered_multiset",
+};
+
+// IN01: raw numeric-conversion entry points. All fire call-only so a
+// variable or comment mentioning the name never trips the rule.
+const char* const kRawParseIdents[] = {
+    "stoi", "stol", "stoll", "stoul", "stoull", "stof", "stod", "stold",
+    "atoi", "atol", "atoll", "atof", "strtol", "strtoll", "strtoul",
+    "strtoull", "strtof", "strtod", "strtold", "sscanf", "scanf",
 };
 
 // ---------------------------------------------------------------------------
@@ -552,6 +569,28 @@ void CheckHotPathAlloc(const Tokens& toks, const std::string& path,
   }
 }
 
+void CheckRawNumericParse(const Tokens& toks, const std::string& path,
+                          std::vector<Diagnostic>* out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier) continue;
+    // Member access `x.stoll(...)` is some other API, not the std one.
+    if (i >= 1 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"))) {
+      continue;
+    }
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) continue;
+    for (const char* ident : kRawParseIdents) {
+      if (toks[i].text == ident) {
+        out->push_back(Diagnostic{
+            "IN01", path, toks[i].line,
+            "raw numeric conversion '" + toks[i].text +
+                "' in the ingestion layer — use graph::ParseInt64 / "
+                "graph::ParseDouble (parse_num.h) so failures become "
+                "structured Status errors"});
+      }
+    }
+  }
+}
+
 void CheckPragmaOnce(const Tokens& toks, const std::string& path,
                      std::vector<Diagnostic>* out) {
   if (!IsHeaderPath(path)) return;
@@ -607,6 +646,8 @@ std::vector<Diagnostic> LintSource(const std::string& rel_path,
       CheckWallClock(lexed.tokens, rel_path, &raw);
     } else if (rule.id == "HP01") {
       CheckHotPathAlloc(lexed.tokens, rel_path, &raw);
+    } else if (rule.id == "IN01") {
+      CheckRawNumericParse(lexed.tokens, rel_path, &raw);
     }
   }
 

@@ -28,6 +28,10 @@
 //         scratch comes from the tensor arena / SimWorkspace pools
 //         (src/nn/arena.*, src/sim/sim_workspace.h are the sanctioned
 //         allocation layer and exempt)
+//   IN01  no raw numeric conversions (std::stoll/strtod/atoi/sscanf/...)
+//         in src/graph outside parse_num.* — they throw or silently
+//         saturate on hostile input; ingestion must classify failures
+//         through graph::ParseInt64 / graph::ParseDouble instead
 //
 // Suppression: a `// eagle-lint: allow(ND02)` comment on the same line
 // (or the line above) waives that rule for that line. Rules, scopes and

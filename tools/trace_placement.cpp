@@ -4,15 +4,20 @@
 // attribution (compute vs transfer vs queueing).
 //
 //   $ ./trace_placement --model=gnmt --policy=expert --out=gnmt.trace.json
+//   $ ./trace_placement --load=my_graph.eg --policy=balanced
 //   then open chrome://tracing or https://ui.perfetto.dev
 //
-// Policies: single (one GPU), expert (the paper's human-expert layout),
-// balanced (METIS groups round-robined over the GPUs), random.
+// Policies: single (one GPU), expert (the paper's human-expert layout,
+// built-in models only), balanced (METIS groups round-robined over the
+// GPUs), random. Malformed --load files and unusable policy choices are
+// a diagnostic on stderr and exit 2, never an abort.
 #include <cstdio>
 #include <ostream>
+#include <utility>
 
 #include "core/expert_policies.h"
 #include "graph/grouped_graph.h"
+#include "graph/ingest.h"
 #include "models/zoo.h"
 #include "partition/metis_like.h"
 #include "sim/fault.h"
@@ -26,18 +31,11 @@ using namespace eagle;
 namespace {
 
 sim::Placement MakePlacement(const std::string& policy,
-                             models::Benchmark benchmark,
                              const graph::OpGraph& graph,
                              const sim::ClusterSpec& cluster,
                              std::uint64_t seed) {
   if (policy == "single") {
     return core::SingleGpuPlacement(graph, cluster);
-  }
-  if (policy == "expert") {
-    auto expert = core::HumanExpertPlacement(benchmark, graph, cluster);
-    EAGLE_CHECK_MSG(expert.has_value(),
-                    "no expert placement for this model — try balanced");
-    return *expert;
   }
   if (policy == "balanced") {
     partition::MetisOptions options;
@@ -68,7 +66,7 @@ sim::Placement MakePlacement(const std::string& policy,
     placement.Normalize(graph, cluster);
     return placement;
   }
-  EAGLE_CHECK_MSG(false, "unknown policy '" << policy << "'");
+  EAGLE_CHECK_MSG(false, "unreachable: policy validated in main");
 }
 
 }  // namespace
@@ -76,6 +74,8 @@ sim::Placement MakePlacement(const std::string& policy,
 int main(int argc, char** argv) {
   support::ArgParser args("EAGLE placement tracer");
   args.AddString("model", "gnmt", "inception_v3 | gnmt | bert");
+  args.AddString("load", "",
+                 "trace a .eg or .json graph file instead of a benchmark");
   args.AddString("policy", "balanced",
                  "single | expert | balanced | random");
   args.AddString("out", "placement.trace.json", "trace output path");
@@ -85,12 +85,59 @@ int main(int argc, char** argv) {
                  "straggler=0.5,slowdown=4,link=0.3 (seed=N picks the draw)");
   if (!args.Parse(argc, argv)) return 0;
 
-  const auto benchmark = models::BenchmarkFromName(args.GetString("model"));
-  const auto graph = models::BuildBenchmark(benchmark);
+  const std::string policy = args.GetString("policy");
+  if (policy != "single" && policy != "expert" && policy != "balanced" &&
+      policy != "random") {
+    std::fprintf(stderr,
+                 "trace_placement: unknown policy '%s' (expected single, "
+                 "expert, balanced or random)\n",
+                 policy.c_str());
+    return 2;
+  }
+
+  const bool loading = !args.GetString("load").empty();
+  graph::OpGraph graph;
+  if (loading) {
+    // Hardened ingestion: a malformed file is a diagnostic with the
+    // offending file:line:column and exit 2, never an abort.
+    support::StatusOr<graph::OpGraph> parsed =
+        graph::ImportGraphFile(args.GetString("load"));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "trace_placement: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    graph = std::move(parsed).value();
+  } else {
+    graph = models::BuildBenchmark(
+        models::BenchmarkFromName(args.GetString("model")));
+  }
+
   const auto cluster = sim::MakeDefaultCluster();
-  const auto placement = MakePlacement(
-      args.GetString("policy"), benchmark, graph, cluster,
-      static_cast<std::uint64_t>(args.GetInt("seed")));
+  sim::Placement placement;
+  if (policy == "expert") {
+    // Expert layouts exist only for the built-in benchmarks.
+    if (loading) {
+      std::fprintf(stderr,
+                   "trace_placement: the expert policy needs a built-in "
+                   "--model, not --load — try --policy=balanced\n");
+      return 2;
+    }
+    auto expert = core::HumanExpertPlacement(
+        models::BenchmarkFromName(args.GetString("model")), graph, cluster);
+    if (!expert.has_value()) {
+      std::fprintf(stderr,
+                   "trace_placement: no expert placement for '%s' — try "
+                   "--policy=balanced\n",
+                   args.GetString("model").c_str());
+      return 2;
+    }
+    placement = *std::move(expert);
+  } else {
+    placement = MakePlacement(
+        policy, graph, cluster,
+        static_cast<std::uint64_t>(args.GetInt("seed")));
+  }
 
   // Optional fault injection: one deterministic draw (the profile's seed
   // picks which) so slowed devices / degraded links show up directly in
@@ -129,7 +176,9 @@ int main(int argc, char** argv) {
                  "This usually means schedule recording was disabled; "
                  "rerun with a build where SimulatorOptions::"
                  "record_schedule is honored.\n",
-                 args.GetString("model").c_str(), graph.num_ops());
+                 (loading ? args.GetString("load") : args.GetString("model"))
+                     .c_str(),
+                 graph.num_ops());
     return 2;
   }
 
