@@ -16,7 +16,11 @@
 #      seeded .eg/.json corpora 10k/2k times against the hardened parser
 #      (any crash or uncaught throw fails here) and runs a 100k-op
 #      generate→ingest→validate→group→simulate pass end to end (see
-#      docs/GRAPH_FORMATS.md).
+#      docs/GRAPH_FORMATS.md),
+#   7. a delta differential smoke under the same sanitizer build:
+#      graph_fuzz --mode=delta replays random single- and multi-op move
+#      sequences on zoo + fuzz graphs and fails on the first result that
+#      is not bit-identical to a fresh full run (see docs/SIMULATOR.md).
 # Usage: scripts/run_ci.sh [build-dir]
 set -euo pipefail
 BUILD=${1:-build-ci}
@@ -53,12 +57,18 @@ test -s "$SMOKE/report_phases.csv"
 echo TELEMETRY_SMOKE_CLEAN
 
 echo "=== kernel bench smoke ==="
-"$BUILD/bench/bench_micro" --smoke --out="$SMOKE/BENCH_kernels.json"
+"$BUILD/bench/bench_micro" --smoke --out="$SMOKE/BENCH_kernels.json" \
+  --delta-out="$SMOKE/BENCH_delta.json"
 test -s "$SMOKE/BENCH_kernels.json"
 grep -q '"schema": "eagle.bench_kernels.v1"' "$SMOKE/BENCH_kernels.json"
 grep -q '"smoke": true' "$SMOKE/BENCH_kernels.json"
 grep -q '"kernel": "gemm"' "$SMOKE/BENCH_kernels.json"
 grep -q '"graph": "Inception-V3"' "$SMOKE/BENCH_kernels.json"
+test -s "$SMOKE/BENCH_delta.json"
+grep -q '"schema": "eagle.bench_delta.v2"' "$SMOKE/BENCH_delta.json"
+grep -q '"pattern": "repeat"' "$SMOKE/BENCH_delta.json"
+grep -q '"pattern": "single_op"' "$SMOKE/BENCH_delta.json"
+grep -q '"bert_repeat_speedup"' "$SMOKE/BENCH_delta.json"
 echo BENCH_SMOKE_CLEAN
 
 echo "=== ingestion fuzz smoke (ASan+UBSan) ==="
@@ -75,5 +85,11 @@ FUZZ="$BUILD-fuzz/tools/graph_fuzz"
 "$FUZZ" --mode=fuzz --in="$SMOKE/corpus.json" --iters=2000 --seed=6
 "$FUZZ" --mode=e2e --ops=100000 --seed=7
 echo FUZZ_SMOKE_CLEAN
+
+echo "=== delta differential smoke (ASan+UBSan) ==="
+# Same sanitizer binary: every delta-path evaluation across random move
+# sequences must be field-for-field identical to a fresh full run.
+"$FUZZ" --mode=delta --iters=25 --seed=8
+echo DELTA_DIFF_CLEAN
 
 echo CI_CLEAN

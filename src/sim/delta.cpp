@@ -1,0 +1,1183 @@
+#include "sim/delta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "sim/cost_model.h"
+#include "sim/fault.h"
+#include "sim/placement.h"
+#include "sim/simulator.h"
+#include "support/check.h"
+
+namespace eagle::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The full simulator's global pick order is lexicographic in
+// (start, -priority, device) once every op's compute time is strictly
+// positive (see delta.h header comment); this is the comparator both
+// merges reconstruct it with.
+bool PickKeyLess(double start_a, int prio_a, DeviceId dev_a, double start_b,
+                 int prio_b, DeviceId dev_b) {
+  if (start_a != start_b) return start_a < start_b;
+  if (prio_a != prio_b) return prio_a > prio_b;
+  return dev_a < dev_b;
+}
+
+double ComputeScale(const DeltaContext& ctx, DeviceId d) {
+  return ctx.had_faults ? ctx.fault_compute[static_cast<std::size_t>(d)] : 1.0;
+}
+
+double LinkScale(const DeltaContext& ctx, int channel) {
+  return ctx.had_faults ? ctx.fault_link[static_cast<std::size_t>(channel)]
+                        : 1.0;
+}
+
+std::size_t Slot(graph::OpId op, DeviceId device, int num_devices) {
+  return static_cast<std::size_t>(op) * static_cast<std::size_t>(num_devices) +
+         static_cast<std::size_t>(device);
+}
+
+// Replay-time transfer dedup over the context's flat slots (same scheme
+// as SimWorkspace: primary slot + slot-local overflow chain).
+const double* RtLookup(const DeltaContext& ctx, graph::OpId p, DeviceId d,
+                       std::int64_t bytes) {
+  const std::size_t slot = Slot(p, d, ctx.num_devices);
+  if (ctx.rt_epoch[slot] != ctx.run_epoch) return nullptr;
+  if (ctx.rt_bytes[slot] == bytes) return &ctx.rt_arrival[slot];
+  for (std::uint32_t idx = ctx.rt_overflow_head[slot]; idx != 0;) {
+    const auto& o = ctx.rt_overflow[idx - 1];
+    if (o.bytes == bytes) return &o.arrival;
+    idx = o.next;
+  }
+  return nullptr;
+}
+
+void RtInsert(DeltaContext& ctx, graph::OpId p, DeviceId d, std::int64_t bytes,
+              double arrival) {
+  const std::size_t slot = Slot(p, d, ctx.num_devices);
+  if (ctx.rt_epoch[slot] != ctx.run_epoch) {
+    ctx.rt_epoch[slot] = ctx.run_epoch;
+    ctx.rt_bytes[slot] = bytes;
+    ctx.rt_arrival[slot] = arrival;
+    ctx.rt_overflow_head[slot] = 0;
+  } else {
+    ctx.rt_overflow.push_back({bytes, arrival, ctx.rt_overflow_head[slot]});
+    ctx.rt_overflow_head[slot] =
+        static_cast<std::uint32_t>(ctx.rt_overflow.size());
+  }
+}
+
+// Rebuilds the cached-transfer index (see delta.h) from ctx.transfers.
+void RebuildCachedTransferIndex(DeltaContext& ctx) {
+  const auto flat = static_cast<std::size_t>(ctx.num_ops) *
+                    static_cast<std::size_t>(ctx.num_devices);
+  if (ctx.ct_gen.size() != flat) {
+    ctx.ct_gen.assign(flat, 0);
+    ctx.ct_bytes.resize(flat);
+    ctx.ct_index.resize(flat);
+    ctx.ct_overflow_head.resize(flat);
+    ctx.ct_generation = 0;
+  }
+  if (++ctx.ct_generation == 0) {
+    std::fill(ctx.ct_gen.begin(), ctx.ct_gen.end(), 0u);
+    ctx.ct_generation = 1;
+  }
+  ctx.ct_overflow.clear();
+  for (std::size_t i = 0; i < ctx.transfers.size(); ++i) {
+    const DeltaTransfer& t = ctx.transfers[i];
+    const std::size_t slot = Slot(t.producer, t.dst, ctx.num_devices);
+    if (ctx.ct_gen[slot] != ctx.ct_generation) {
+      ctx.ct_gen[slot] = ctx.ct_generation;
+      ctx.ct_bytes[slot] = t.bytes;
+      ctx.ct_index[slot] = static_cast<std::uint32_t>(i);
+      ctx.ct_overflow_head[slot] = 0;
+    } else {
+      ctx.ct_overflow.push_back({t.bytes, static_cast<std::uint32_t>(i),
+                                 ctx.ct_overflow_head[slot]});
+      ctx.ct_overflow_head[slot] =
+          static_cast<std::uint32_t>(ctx.ct_overflow.size());
+    }
+  }
+}
+
+const DeltaTransfer* CtLookup(const DeltaContext& ctx, graph::OpId p,
+                              DeviceId d, std::int64_t bytes) {
+  const std::size_t slot = Slot(p, d, ctx.num_devices);
+  if (ctx.ct_gen[slot] != ctx.ct_generation) return nullptr;
+  if (ctx.ct_bytes[slot] == bytes) return &ctx.transfers[ctx.ct_index[slot]];
+  for (std::uint32_t idx = ctx.ct_overflow_head[slot]; idx != 0;) {
+    const auto& o = ctx.ct_overflow[idx - 1];
+    if (o.bytes == bytes) return &ctx.transfers[o.index];
+    idx = o.next;
+  }
+  return nullptr;
+}
+
+// First out-edge position of `p` demanding (`bytes` → device `d`) under
+// `placement` — the ordinal at which the dedup'd transfer is created in a
+// fresh run of that placement. -1 when no edge demands it.
+std::int32_t FirstFanoutOrdinal(const graph::OpGraph& g,
+                                const Placement& placement, graph::OpId p,
+                                DeviceId d, std::int64_t bytes) {
+  const auto& oes = g.out_edges(p);
+  for (std::size_t i = 0; i < oes.size(); ++i) {
+    const graph::Edge& e = g.edges()[static_cast<std::size_t>(oes[i])];
+    if (e.bytes == bytes && placement.device(e.dst) == d) {
+      return static_cast<std::int32_t>(i);
+    }
+  }
+  return -1;
+}
+
+// Fills the caller-visible result from the (already advanced) cache.
+void BuildResult(const DeltaContext& ctx, bool record_schedule,
+                 StepResult* out) {
+  const auto num_devices = static_cast<std::size_t>(ctx.num_devices);
+  out->oom = ctx.oom;
+  out->oom_device = ctx.oom_device;
+  out->step_seconds = ctx.step_seconds;
+  out->device_busy_seconds.assign(num_devices, 0.0);
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    if (!ctx.dev_busy[d].empty()) {
+      out->device_busy_seconds[d] = ctx.dev_busy[d].back();
+    }
+  }
+  out->device_peak_bytes = ctx.peak_bytes;
+  out->device_param_bytes = ctx.param_bytes;
+  out->transfer_seconds_total = ctx.transfer_seconds_total;
+  out->transfer_bytes_total = ctx.transfer_bytes_total;
+  out->num_transfers = ctx.num_transfers;
+  out->schedule.clear();
+  out->transfers.clear();
+  if (record_schedule) {
+    out->schedule.reserve(ctx.pick_order.size());
+    for (const graph::OpId u : ctx.pick_order) {
+      const auto i = static_cast<std::size_t>(u);
+      out->schedule.push_back(
+          ScheduledOp{u, ctx.devices[i], ctx.start[i], ctx.finish[i]});
+    }
+    out->transfers.reserve(ctx.transfers.size());
+    for (const DeltaTransfer& t : ctx.transfers) {
+      out->transfers.push_back(ScheduledTransfer{t.producer, t.src, t.dst,
+                                                 t.bytes, t.xfer_start,
+                                                 t.arrival});
+    }
+  }
+}
+
+}  // namespace
+
+void RefreshDeltaContext(const DeltaRunInputs& in, const Placement& placement,
+                         const FaultDraw* faults, const StepResult& full,
+                         DeltaContext& ctx) {
+  const graph::OpGraph& g = *in.graph;
+  const ClusterSpec& cluster = *in.cluster;
+  const CostModel& cost = *in.cost_model;
+  const int num_ops = g.num_ops();
+  const int num_devices = cluster.num_devices();
+  const int num_channels = cluster.num_link_channels();
+  const auto ops = static_cast<std::size_t>(num_ops);
+  const auto devs = static_cast<std::size_t>(num_devices);
+  const auto chans = static_cast<std::size_t>(num_channels);
+  const auto flat = ops * devs;
+
+  ctx.valid = false;
+  ctx.zero_cost_ops = false;
+  ctx.num_ops = num_ops;
+  ctx.num_devices = num_devices;
+  ctx.num_channels = num_channels;
+  ctx.track_memory = in.options->track_memory;
+  ctx.had_faults = faults != nullptr;
+  if (faults != nullptr) {
+    ctx.fault_compute = faults->device_compute_scale;
+    ctx.fault_link = faults->link_scale;
+  } else {
+    ctx.fault_compute.clear();
+    ctx.fault_link.clear();
+  }
+  EAGLE_CHECK_MSG(full.schedule.size() == ops,
+                  "delta refresh requires a recorded schedule");
+
+  ctx.devices = placement.devices();
+  ctx.start.resize(ops);
+  ctx.finish.resize(ops);
+  ctx.compute.resize(ops);
+  ctx.pick_order.clear();
+  ctx.pick_order.reserve(ops);
+  ctx.dev_ops.resize(devs);
+  ctx.dev_busy.resize(devs);
+  for (std::size_t d = 0; d < devs; ++d) {
+    ctx.dev_ops[d].clear();
+    ctx.dev_busy[d].clear();
+  }
+  ctx.transfers.clear();
+  ctx.ch_transfers.resize(chans);
+  for (auto& c : ctx.ch_transfers) c.clear();
+  ctx.intervals.resize(devs);
+  for (auto& v : ctx.intervals) v.clear();
+  ctx.slot_gen.resize(flat, 0);
+  ctx.slot_index.resize(flat);
+  if (++ctx.generation == 0) {
+    std::fill(ctx.slot_gen.begin(), ctx.slot_gen.end(), 0u);
+    ctx.generation = 1;
+  }
+
+  // Pass 1: per-op times and per-device order / busy prefix sums. The
+  // busy sums re-add the exact compute doubles the full run added, in the
+  // same order, so a kept prefix later reproduces the full run's
+  // accumulation bit-for-bit. While here, verify the strictly-increasing
+  // per-device start property the merge comparator depends on.
+  for (const ScheduledOp& s : full.schedule) {
+    const graph::OpId u = s.op;
+    const auto ui = static_cast<std::size_t>(u);
+    const DeviceId d = s.device;
+    const auto di = static_cast<std::size_t>(d);
+    EAGLE_DCHECK(placement.device(u) == d);
+    ctx.start[ui] = s.start_seconds;
+    ctx.finish[ui] = s.end_seconds;
+    const double comp =
+        cost.ComputeSeconds(g.op(u), d) * ComputeScale(ctx, d);
+    ctx.compute[ui] = comp;
+    if (!(s.end_seconds > s.start_seconds)) ctx.zero_cost_ops = true;
+    if (!ctx.dev_ops[di].empty()) {
+      const auto prev = static_cast<std::size_t>(ctx.dev_ops[di].back());
+      if (!(s.start_seconds > ctx.start[prev])) ctx.zero_cost_ops = true;
+    }
+    ctx.dev_ops[di].push_back(u);
+    const double busy =
+        (ctx.dev_busy[di].empty() ? 0.0 : ctx.dev_busy[di].back()) + comp;
+    ctx.dev_busy[di].push_back(busy);
+    ctx.pick_order.push_back(u);
+  }
+  if (ctx.zero_cost_ops) return;  // permanently ineligible for this graph
+
+  // Pass 2 (schedule order): reconstruct each transfer's creating edge
+  // ordinal by mirroring the out-edge dedup, and rebuild the liveness
+  // intervals by replaying the full run's touch order exactly.
+  const bool track_memory = ctx.track_memory;
+  const auto touch = [&ctx, num_devices, track_memory](
+                         graph::OpId producer, DeviceId device, double start,
+                         double end, std::int64_t bytes) {
+    if (!track_memory || bytes <= 0) return;
+    const std::size_t slot = Slot(producer, device, num_devices);
+    auto& ivs = ctx.intervals[static_cast<std::size_t>(device)];
+    if (ctx.slot_gen[slot] != ctx.generation) {
+      ctx.slot_gen[slot] = ctx.generation;
+      ctx.slot_index[slot] = static_cast<std::uint32_t>(ivs.size());
+      ivs.push_back(DeltaInterval{producer, LiveInterval{start, end, bytes}});
+    } else {
+      auto& iv = ivs[ctx.slot_index[slot]].iv;
+      iv.start = std::min(iv.start, start);
+      iv.end = std::max(iv.end, end);
+    }
+  };
+
+  std::size_t ti = 0;
+  for (const graph::OpId u : ctx.pick_order) {
+    const auto ui = static_cast<std::size_t>(u);
+    const DeviceId d = ctx.devices[ui];
+    touch(u, d, ctx.finish[ui], ctx.finish[ui], g.op(u).output_bytes());
+    ctx.seen_bytes.clear();
+    const auto& out_edges = g.out_edges(u);
+    for (std::size_t oe = 0; oe < out_edges.size(); ++oe) {
+      const graph::Edge& e =
+          g.edges()[static_cast<std::size_t>(out_edges[oe])];
+      const DeviceId dst_dev = ctx.devices[static_cast<std::size_t>(e.dst)];
+      if (dst_dev == d) continue;
+      bool seen = false;
+      for (const auto& sb : ctx.seen_bytes) {
+        if (sb.first == dst_dev && sb.second == e.bytes) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      ctx.seen_bytes.emplace_back(dst_dev, e.bytes);
+      EAGLE_CHECK_MSG(ti < full.transfers.size(),
+                      "recorded transfers do not match the schedule");
+      const ScheduledTransfer& tr = full.transfers[ti++];
+      EAGLE_DCHECK(tr.producer == u && tr.dst == dst_dev &&
+                   tr.bytes == e.bytes);
+      const int channel = cluster.link_channel(d, dst_dev);
+      const double xfer = cost.TransferSeconds(d, dst_dev, e.bytes) *
+                          LinkScale(ctx, channel);
+      ctx.ch_transfers[static_cast<std::size_t>(channel)].push_back(
+          static_cast<std::int32_t>(ctx.transfers.size()));
+      ctx.transfers.push_back(DeltaTransfer{
+          u, d, dst_dev, e.bytes, static_cast<std::int32_t>(oe), channel,
+          tr.start_seconds, tr.end_seconds, xfer});
+      touch(u, dst_dev, tr.end_seconds, tr.end_seconds, e.bytes);
+    }
+    if (track_memory) {
+      for (const auto ei : g.in_edges(u)) {
+        const graph::Edge& e = g.edges()[static_cast<std::size_t>(ei)];
+        const auto si = static_cast<std::size_t>(e.src);
+        touch(e.src, d, ctx.start[ui], ctx.finish[ui],
+              ctx.devices[si] == d ? g.op(e.src).output_bytes() : e.bytes);
+      }
+    }
+  }
+  EAGLE_CHECK_MSG(ti == full.transfers.size(),
+                  "recorded transfers do not match the schedule");
+
+  // Summary state, straight from the verified full result.
+  ctx.oom = full.oom;
+  ctx.oom_device = full.oom_device;
+  ctx.step_seconds = full.step_seconds;
+  ctx.transfer_seconds_total = full.transfer_seconds_total;
+  ctx.transfer_bytes_total = full.transfer_bytes_total;
+  ctx.num_transfers = full.num_transfers;
+  ctx.param_bytes = full.device_param_bytes;
+  ctx.peak_bytes = full.device_peak_bytes;
+  ctx.act_bytes.assign(devs, 0);
+  if (track_memory) {
+    for (std::size_t d = 0; d < devs; ++d) {
+      ctx.iv_scratch.clear();
+      for (const DeltaInterval& di : ctx.intervals[d]) {
+        ctx.iv_scratch.push_back(di.iv);
+      }
+      ctx.act_bytes[d] = PeakLiveBytes(ctx.iv_scratch, ctx.event_scratch);
+    }
+  }
+  RebuildCachedTransferIndex(ctx);
+  ctx.valid = true;
+}
+
+bool TryDeltaRun(const DeltaRunInputs& in, const Placement& placement,
+                 const FaultDraw* faults, bool record_schedule,
+                 DeltaContext& ctx, StepResult* out) {
+  const graph::OpGraph& g = *in.graph;
+  const ClusterSpec& cluster = *in.cluster;
+  const CostModel& cost = *in.cost_model;
+  const std::vector<int>& prio = *in.critical_priority;
+  const int num_ops = g.num_ops();
+  const int num_devices = cluster.num_devices();
+  const int num_channels = cluster.num_link_channels();
+
+  if (!ctx.valid || ctx.zero_cost_ops || ctx.num_ops != num_ops ||
+      ctx.num_devices != num_devices || ctx.num_channels != num_channels ||
+      ctx.track_memory != in.options->track_memory) {
+    return false;
+  }
+  if ((faults != nullptr) != ctx.had_faults) return false;
+  if (faults != nullptr &&
+      (faults->device_compute_scale != ctx.fault_compute ||
+       faults->link_scale != ctx.fault_link)) {
+    return false;
+  }
+  EAGLE_CHECK(placement.num_ops() == num_ops);
+
+  ctx.moved.clear();
+  for (graph::OpId u = 0; u < num_ops; ++u) {
+    if (placement.device(u) != ctx.devices[static_cast<std::size_t>(u)]) {
+      ctx.moved.push_back(u);
+    }
+  }
+  if (ctx.moved.empty()) {
+    // Same placement as the cached run: serve the cache verbatim.
+    BuildResult(ctx, record_schedule, out);
+    ctx.stats.hits++;
+    return true;
+  }
+  if (static_cast<int>(ctx.moved.size()) > in.options->delta.max_moved_ops) {
+    return false;
+  }
+
+  // ---- scratch sizing (epoch-stamped; zero work when warm) ----
+  const auto ops = static_cast<std::size_t>(num_ops);
+  const auto devs = static_cast<std::size_t>(num_devices);
+  const auto chans = static_cast<std::size_t>(num_channels);
+  const auto flat = ops * devs;
+  const std::size_t num_edges = g.edges().size();
+  if (ctx.invalid_epoch.size() != ops || ctx.rt_epoch.size() != flat ||
+      ctx.edge_unresolved_epoch.size() != num_edges) {
+    ctx.invalid_epoch.assign(ops, 0);
+    ctx.lb_epoch.assign(ops, 0);
+    ctx.lb.resize(ops);
+    ctx.lb_finish.resize(ops);
+    ctx.ready_epoch.assign(ops, 0);
+    ctx.ready_time.resize(ops);
+    ctx.pending_epoch.assign(ops, 0);
+    ctx.pending_inputs.resize(ops);
+    ctx.rt_epoch.assign(flat, 0);
+    ctx.rt_bytes.resize(flat);
+    ctx.rt_arrival.resize(flat);
+    ctx.rt_overflow_head.resize(flat);
+    ctx.edge_unresolved_epoch.assign(num_edges, 0);
+    ctx.slot_dirty_epoch.assign(flat, 0);
+    ctx.run_epoch = 0;
+  }
+  if (++ctx.run_epoch == 0) {
+    std::fill(ctx.invalid_epoch.begin(), ctx.invalid_epoch.end(), 0u);
+    std::fill(ctx.lb_epoch.begin(), ctx.lb_epoch.end(), 0u);
+    std::fill(ctx.ready_epoch.begin(), ctx.ready_epoch.end(), 0u);
+    std::fill(ctx.pending_epoch.begin(), ctx.pending_epoch.end(), 0u);
+    std::fill(ctx.rt_epoch.begin(), ctx.rt_epoch.end(), 0u);
+    std::fill(ctx.edge_unresolved_epoch.begin(),
+              ctx.edge_unresolved_epoch.end(), 0u);
+    std::fill(ctx.slot_dirty_epoch.begin(), ctx.slot_dirty_epoch.end(), 0u);
+    ctx.run_epoch = 1;
+  }
+  ctx.t_dev.assign(devs, kInf);
+  ctx.t_ch.assign(chans, kInf);
+  ctx.kept_dev.resize(devs);
+  ctx.kept_ch.resize(chans);
+  for (std::size_t d = 0; d < devs; ++d) {
+    ctx.kept_dev[d] = static_cast<std::int32_t>(ctx.dev_ops[d].size());
+  }
+  for (std::size_t c = 0; c < chans; ++c) {
+    ctx.kept_ch[c] = static_cast<std::int32_t>(ctx.ch_transfers[c].size());
+  }
+  ctx.heaps.resize(devs);
+  for (auto& h : ctx.heaps) h.clear();
+  ctx.device_free.resize(devs);
+  ctx.link_free.resize(chans);
+  ctx.dev_dirty.assign(devs, 0);
+  ctx.rt_overflow.clear();
+  ctx.worklist.clear();
+  ctx.emissions.clear();
+  ctx.replay_pick_order.clear();
+  ctx.replay_transfers.clear();
+  ctx.merged_transfers.clear();
+  ctx.merged_pick_order.clear();
+  ctx.slot_candidates.clear();
+
+  // ---- invalidation-cone closure ----
+  const std::size_t cutover_limit = std::max<std::size_t>(
+      ctx.moved.size(),
+      static_cast<std::size_t>(in.options->delta.cutover_fraction *
+                               static_cast<double>(num_ops)));
+  std::size_t cone = 0;
+  bool over = false;
+  auto& invalid_list = ctx.worklist;
+  const auto is_invalid = [&ctx](graph::OpId u) {
+    return ctx.invalid_epoch[static_cast<std::size_t>(u)] == ctx.run_epoch;
+  };
+  const auto mark = [&ctx, &invalid_list, &cone, &over,
+                     cutover_limit](graph::OpId u) {
+    const auto i = static_cast<std::size_t>(u);
+    if (ctx.invalid_epoch[i] == ctx.run_epoch) return;
+    ctx.invalid_epoch[i] = ctx.run_epoch;
+    invalid_list.push_back(u);
+    if (++cone > cutover_limit) over = true;
+  };
+  // Disturbing device d at time t invalidates every cached op on d
+  // starting at or after t (the kept prefix only ever shrinks).
+  const auto lower_dev = [&ctx, &mark](DeviceId d, double t) {
+    const auto di = static_cast<std::size_t>(d);
+    if (!(t < ctx.t_dev[di])) return;
+    ctx.t_dev[di] = t;
+    auto& k = ctx.kept_dev[di];
+    const auto& on_dev = ctx.dev_ops[di];
+    while (k > 0 &&
+           ctx.start[static_cast<std::size_t>(
+               on_dev[static_cast<std::size_t>(k - 1)])] >= t) {
+      --k;
+      mark(on_dev[static_cast<std::size_t>(k)]);
+    }
+  };
+  // Disturbing channel c at time t invalidates every cached transfer on c
+  // starting at or after t, plus every op that consumed one (dedup means
+  // one transfer can feed many consumers).
+  const auto lower_ch = [&ctx, &g, &mark](int c, double t) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (!(t < ctx.t_ch[ci])) return;
+    ctx.t_ch[ci] = t;
+    auto& k = ctx.kept_ch[ci];
+    const auto& on_ch = ctx.ch_transfers[ci];
+    while (k > 0) {
+      const DeltaTransfer& tr = ctx.transfers[static_cast<std::size_t>(
+          on_ch[static_cast<std::size_t>(k - 1)])];
+      if (!(tr.xfer_start >= t)) break;
+      --k;
+      for (const auto ei : g.out_edges(tr.producer)) {
+        const graph::Edge& e = g.edges()[static_cast<std::size_t>(ei)];
+        if (e.bytes == tr.bytes &&
+            ctx.devices[static_cast<std::size_t>(e.dst)] == tr.dst) {
+          mark(e.dst);
+        }
+      }
+    }
+  };
+
+  for (const graph::OpId u : ctx.moved) mark(u);
+
+  // LB(u) is a sound lower bound on an invalidated op's new ready time,
+  // computed in dependency order from kept producers' cached finishes.
+  // Passes iterate to a fixpoint because suffix invalidation can pull in
+  // ops that are topologically earlier than ones already processed.
+  const std::vector<graph::OpId>& topo = *in.topo;
+  bool changed = true;
+  int passes = 0;
+  while (changed && !over) {
+    changed = false;
+    if (++passes > 64) return false;
+    for (const graph::OpId u : topo) {
+      if (over) break;
+      if (!is_invalid(u)) continue;
+      const auto ui = static_cast<std::size_t>(u);
+      const DeviceId old_dev = ctx.devices[ui];
+      const DeviceId new_dev = placement.device(u);
+      double new_lb = 0.0;
+      bool deferred = false;
+      for (const auto ei : g.in_edges(u)) {
+        const graph::Edge& e = g.edges()[static_cast<std::size_t>(ei)];
+        const auto pi = static_cast<std::size_t>(e.src);
+        // A sound lower bound on this input's new arrival: the producer
+        // can't finish before its own start bound plus its compute, and a
+        // cross-device payload additionally rides a transfer. Without the
+        // compute/transfer terms the bound never grows downstream, and on
+        // queue-dominated schedules (ready << start) the closure collapses
+        // every device timeline toward t=0 — the whole graph invalidates.
+        double bound;
+        if (is_invalid(e.src)) {
+          if (ctx.lb_epoch[pi] != ctx.run_epoch) {
+            // Predecessor marked after its topo position this pass; its
+            // LB arrives next pass.
+            deferred = true;
+            break;
+          }
+          bound = ctx.lb_finish[pi];
+        } else {
+          bound = ctx.finish[pi];
+        }
+        const DeviceId new_p = placement.device(e.src);
+        if (new_p != new_dev) {
+          const int channel = cluster.link_channel(new_p, new_dev);
+          bound += cost.TransferSeconds(new_p, new_dev, e.bytes) *
+                   LinkScale(ctx, channel);
+        }
+        new_lb = std::max(new_lb, bound);
+      }
+      if (deferred) {
+        changed = true;
+        continue;
+      }
+      if (ctx.lb_epoch[ui] == ctx.run_epoch && !(new_lb < ctx.lb[ui])) {
+        continue;
+      }
+      ctx.lb_epoch[ui] = ctx.run_epoch;
+      ctx.lb[ui] = new_lb;
+      const double lb_finish = new_lb + cost.ComputeSeconds(g.op(u), new_dev) *
+                                            ComputeScale(ctx, new_dev);
+      ctx.lb_finish[ui] = lb_finish;
+      changed = true;
+      // Device cuts cover both schedules: an unmoved op can drift as
+      // early as its new LB or vacate its cached slot; a moved op frees
+      // its old device exactly at its cached start and lands on the new
+      // one no earlier than its new LB.
+      if (old_dev == new_dev) {
+        lower_dev(old_dev, std::min(new_lb, ctx.start[ui]));
+      } else {
+        lower_dev(old_dev, ctx.start[ui]);
+        lower_dev(new_dev, new_lb);
+      }
+      if (old_dev != new_dev) {
+        // Only a *moved* op re-routes its incoming transfers; an invalid
+        // op that stays put consumes bit-identical transfers from any
+        // kept producer (invalid producers perturb their own
+        // out-channels below). Send/recv dedup makes both sides
+        // conditional: a cached transfer whose first demanding out-edge
+        // ordinal is unchanged under the new placement is bit-identical
+        // — losing one of its consumers (old side) or gaining this op
+        // (new side) disturbs nothing, so no cut. (An invalid producer's
+        // own out-edge pass re-cuts its channels regardless.)
+        for (const auto ei : g.in_edges(u)) {
+          const graph::Edge& e = g.edges()[static_cast<std::size_t>(ei)];
+          const auto pi = static_cast<std::size_t>(e.src);
+          const DeviceId old_p = ctx.devices[pi];
+          const DeviceId new_p = placement.device(e.src);
+          if (old_p != old_dev) {
+            const DeltaTransfer* tr = CtLookup(ctx, e.src, old_dev, e.bytes);
+            if (tr == nullptr) {
+              lower_ch(cluster.link_channel(old_p, old_dev), ctx.finish[pi]);
+            } else if (FirstFanoutOrdinal(g, placement, e.src, old_dev,
+                                          e.bytes) != tr->ordinal) {
+              lower_ch(cluster.link_channel(old_p, old_dev), tr->xfer_start);
+            }
+          }
+          if (new_p != new_dev) {
+            const DeltaTransfer* tr = CtLookup(ctx, e.src, new_dev, e.bytes);
+            if (tr == nullptr || is_invalid(e.src) ||
+                FirstFanoutOrdinal(g, placement, e.src, new_dev, e.bytes) !=
+                    tr->ordinal) {
+              const double bound =
+                  is_invalid(e.src) ? ctx.lb_finish[pi] : ctx.finish[pi];
+              lower_ch(cluster.link_channel(new_p, new_dev), bound);
+            }
+          }
+        }
+      }
+      for (const auto ei : g.out_edges(u)) {
+        const graph::Edge& e = g.edges()[static_cast<std::size_t>(ei)];
+        const auto wi = static_cast<std::size_t>(e.dst);
+        mark(e.dst);  // downstream closure
+        const DeviceId old_w = ctx.devices[wi];
+        const DeviceId new_w = placement.device(e.dst);
+        // A cached outgoing transfer is disturbed no earlier than its
+        // cached start; a re-emitted one begins no earlier than the
+        // finish bound. Applying both cuts also covers the unmoved case,
+        // where they hit the same channel.
+        if (old_dev != old_w) {
+          const DeltaTransfer* tr = CtLookup(ctx, u, old_w, e.bytes);
+          lower_ch(cluster.link_channel(old_dev, old_w),
+                   tr != nullptr ? tr->xfer_start : ctx.finish[ui]);
+        }
+        if (new_dev != new_w) {
+          lower_ch(cluster.link_channel(new_dev, new_w), lb_finish);
+        }
+      }
+    }
+  }
+  if (over) return false;
+
+  // ---- replay seeding ----
+  for (std::size_t d = 0; d < devs; ++d) {
+    const auto k = static_cast<std::size_t>(ctx.kept_dev[d]);
+    ctx.device_free[d] =
+        k > 0 ? ctx.finish[static_cast<std::size_t>(ctx.dev_ops[d][k - 1])]
+              : 0.0;
+  }
+  for (std::size_t c = 0; c < chans; ++c) {
+    const auto k = static_cast<std::size_t>(ctx.kept_ch[c]);
+    ctx.link_free[c] =
+        k > 0 ? ctx.transfers[static_cast<std::size_t>(
+                                  ctx.ch_transfers[c][k - 1])]
+                    .arrival
+              : 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const DeltaTransfer& tr =
+          ctx.transfers[static_cast<std::size_t>(ctx.ch_transfers[c][i])];
+      RtInsert(ctx, tr.producer, tr.dst, tr.bytes, tr.arrival);
+    }
+  }
+
+  const auto cmp = std::greater<ReadyOp>();
+  const auto push_ready = [&ctx, &cmp](DeviceId d, ReadyOp entry) {
+    auto& h = ctx.heaps[static_cast<std::size_t>(d)];
+    h.push_back(entry);
+    std::push_heap(h.begin(), h.end(), cmp);
+  };
+
+  std::size_t remaining = invalid_list.size();
+  for (const graph::OpId u : invalid_list) {
+    const auto ui = static_cast<std::size_t>(u);
+    const DeviceId new_u = placement.device(u);
+    int pend = 0;
+    double rdy = 0.0;
+    for (const auto ei : g.in_edges(u)) {
+      const graph::Edge& e = g.edges()[static_cast<std::size_t>(ei)];
+      const auto pi = static_cast<std::size_t>(e.src);
+      if (is_invalid(e.src)) {
+        ++pend;
+        continue;
+      }
+      const DeviceId dev_p = ctx.devices[pi];  // kept ⇒ unmoved
+      EAGLE_DCHECK(placement.device(e.src) == dev_p);
+      if (dev_p == new_u) {
+        rdy = std::max(rdy, ctx.finish[pi]);
+        continue;
+      }
+      const double* arr = RtLookup(ctx, e.src, new_u, e.bytes);
+      if (arr != nullptr) {
+        rdy = std::max(rdy, *arr);
+        continue;
+      }
+      // Kept producer, invalid consumer, no kept transfer: the transfer
+      // must be re-emitted at the producer's cached pick position.
+      ++pend;
+      ctx.edge_unresolved_epoch[static_cast<std::size_t>(ei)] = ctx.run_epoch;
+      ctx.emissions.push_back(DeltaContext::Emission{
+          ctx.start[pi], prio[pi], dev_p, e.src});
+    }
+    ctx.ready_epoch[ui] = ctx.run_epoch;
+    ctx.ready_time[ui] = rdy;
+    ctx.pending_epoch[ui] = ctx.run_epoch;
+    ctx.pending_inputs[ui] = pend;
+    if (pend == 0) {
+      push_ready(new_u, ReadyOp{rdy, prio[ui], u});
+    }
+  }
+  std::sort(ctx.emissions.begin(), ctx.emissions.end(),
+            [](const DeltaContext::Emission& a,
+               const DeltaContext::Emission& b) {
+              if (a.pick_start != b.pick_start) {
+                return a.pick_start < b.pick_start;
+              }
+              if (a.priority != b.priority) return a.priority > b.priority;
+              if (a.device != b.device) return a.device < b.device;
+              return a.producer < b.producer;
+            });
+  ctx.emissions.erase(
+      std::unique(ctx.emissions.begin(), ctx.emissions.end(),
+                  [](const DeltaContext::Emission& a,
+                     const DeltaContext::Emission& b) {
+                    return a.producer == b.producer;
+                  }),
+      ctx.emissions.end());
+
+  const auto raise_ready = [&ctx](graph::OpId v, double t) {
+    const auto i = static_cast<std::size_t>(v);
+    EAGLE_DCHECK(ctx.ready_epoch[i] == ctx.run_epoch);
+    if (t > ctx.ready_time[i]) ctx.ready_time[i] = t;
+    return ctx.ready_time[i];
+  };
+  const auto dec_pending = [&ctx](graph::OpId v) {
+    const auto i = static_cast<std::size_t>(v);
+    EAGLE_DCHECK(ctx.pending_epoch[i] == ctx.run_epoch);
+    return --ctx.pending_inputs[i];
+  };
+  // Creates (or dedups onto) a transfer producer→dst for out-edge
+  // ordinal `oe`; shared by emissions and replayed picks.
+  const auto send = [&ctx, &cluster, &cost](graph::OpId producer,
+                                            DeviceId src, DeviceId dst,
+                                            std::int64_t bytes, double ready,
+                                            std::size_t oe) {
+    const double* cached = RtLookup(ctx, producer, dst, bytes);
+    if (cached != nullptr) return *cached;
+    const int channel = cluster.link_channel(src, dst);
+    const auto chi = static_cast<std::size_t>(channel);
+    const double xfer_start = std::max(ready, ctx.link_free[chi]);
+    const double xfer =
+        cost.TransferSeconds(src, dst, bytes) * LinkScale(ctx, channel);
+    const double arrival = xfer_start + xfer;
+    ctx.link_free[chi] = arrival;
+    RtInsert(ctx, producer, dst, bytes, arrival);
+    ctx.replay_transfers.push_back(
+        DeltaTransfer{producer, src, dst, bytes,
+                      static_cast<std::int32_t>(oe), channel, xfer_start,
+                      arrival, xfer});
+    return arrival;
+  };
+
+  // ---- replay: the event loop restricted to the invalidated cone,
+  // with kept producers' re-emitted transfers merged in at their cached
+  // pick positions ----
+  std::size_t emit_idx = 0;
+  while (remaining > 0 || emit_idx < ctx.emissions.size()) {
+    DeviceId best_dev = -1;
+    double best_start = 0.0;
+    int best_priority = -1;
+    for (DeviceId d = 0; d < num_devices; ++d) {
+      const auto& h = ctx.heaps[static_cast<std::size_t>(d)];
+      if (h.empty()) continue;
+      const ReadyOp& head = h.front();
+      const double start =
+          std::max(head.ready_time, ctx.device_free[static_cast<std::size_t>(d)]);
+      if (best_dev < 0 || start < best_start ||
+          (start == best_start && head.priority > best_priority)) {
+        best_dev = d;
+        best_start = start;
+        best_priority = head.priority;
+      }
+    }
+    if (emit_idx < ctx.emissions.size()) {
+      const DeltaContext::Emission& em = ctx.emissions[emit_idx];
+      if (best_dev < 0 ||
+          PickKeyLess(em.pick_start, em.priority, em.device, best_start,
+                      best_priority, best_dev)) {
+        ++emit_idx;
+        const graph::OpId p = em.producer;
+        const double finish_p = ctx.finish[static_cast<std::size_t>(p)];
+        const auto& oes = g.out_edges(p);
+        for (std::size_t oe = 0; oe < oes.size(); ++oe) {
+          const auto ei = static_cast<std::size_t>(oes[oe]);
+          if (ctx.edge_unresolved_epoch[ei] != ctx.run_epoch) continue;
+          const graph::Edge& e = g.edges()[ei];
+          EAGLE_DCHECK(is_invalid(e.dst));
+          const DeviceId new_w = placement.device(e.dst);
+          const double arrival =
+              send(p, em.device, new_w, e.bytes, finish_p, oe);
+          const double rdy = raise_ready(e.dst, arrival);
+          if (dec_pending(e.dst) == 0) {
+            push_ready(new_w,
+                       ReadyOp{rdy,
+                               prio[static_cast<std::size_t>(e.dst)], e.dst});
+          }
+        }
+        continue;
+      }
+    }
+    if (best_dev < 0) {
+      // No schedulable op and no pending emission: a closure bug. Poison
+      // the cache; the caller falls back to a full run and a refresh.
+      EAGLE_DCHECK(false);
+      ctx.valid = false;
+      return false;
+    }
+    auto& h = ctx.heaps[static_cast<std::size_t>(best_dev)];
+    const graph::OpId u = h.front().op;
+    std::pop_heap(h.begin(), h.end(), cmp);
+    h.pop_back();
+    --remaining;
+    const auto ui = static_cast<std::size_t>(u);
+    const double start = best_start;
+    const double comp = cost.ComputeSeconds(g.op(u), best_dev) *
+                        ComputeScale(ctx, best_dev);
+    const double finish = start + comp;
+    if (!(finish > start)) {
+      // Zero-cost op surfaced mid-replay: the merge order is no longer
+      // provable. Poison and fall back (the refresh re-detects this).
+      ctx.valid = false;
+      return false;
+    }
+    ctx.start[ui] = start;
+    ctx.finish[ui] = finish;
+    ctx.compute[ui] = comp;
+    ctx.device_free[static_cast<std::size_t>(best_dev)] = finish;
+    ctx.replay_pick_order.push_back(u);
+    const auto& oes = g.out_edges(u);
+    for (std::size_t oe = 0; oe < oes.size(); ++oe) {
+      const graph::Edge& e = g.edges()[static_cast<std::size_t>(oes[oe])];
+      EAGLE_DCHECK(is_invalid(e.dst));
+      const DeviceId new_w = placement.device(e.dst);
+      double arrival = finish;
+      if (new_w != best_dev) {
+        arrival = send(u, best_dev, new_w, e.bytes, finish, oe);
+      }
+      const double rdy = raise_ready(e.dst, arrival);
+      if (dec_pending(e.dst) == 0) {
+        push_ready(new_w,
+                   ReadyOp{rdy, prio[static_cast<std::size_t>(e.dst)],
+                           e.dst});
+      }
+    }
+  }
+
+  // ---- memory candidates (needs old devices, so before the commit) ----
+  const bool track_memory = ctx.track_memory;
+  if (track_memory) {
+    const auto add_slot = [&ctx, num_devices](graph::OpId p, DeviceId d) {
+      const std::size_t slot = Slot(p, d, num_devices);
+      if (ctx.slot_dirty_epoch[slot] == ctx.run_epoch) return;
+      ctx.slot_dirty_epoch[slot] = ctx.run_epoch;
+      ctx.slot_candidates.push_back(static_cast<std::int64_t>(slot));
+    };
+    for (const graph::OpId u : invalid_list) {
+      const auto ui = static_cast<std::size_t>(u);
+      const DeviceId old_u = ctx.devices[ui];
+      const DeviceId new_u = placement.device(u);
+      add_slot(u, old_u);
+      add_slot(u, new_u);
+      for (const auto ei : g.in_edges(u)) {
+        const graph::Edge& e = g.edges()[static_cast<std::size_t>(ei)];
+        add_slot(e.src, old_u);
+        add_slot(e.src, new_u);
+      }
+    }
+    for (const graph::OpId u : ctx.moved) {
+      const auto ui = static_cast<std::size_t>(u);
+      const std::int64_t pb = g.op(u).param_bytes;
+      if (pb != 0) {
+        const auto od = static_cast<std::size_t>(ctx.devices[ui]);
+        const auto nd = static_cast<std::size_t>(placement.device(u));
+        ctx.param_bytes[od] -= pb;
+        ctx.param_bytes[nd] += pb;
+        if (ctx.dev_dirty[od] == 0) ctx.dev_dirty[od] = 1;
+        if (ctx.dev_dirty[nd] == 0) ctx.dev_dirty[nd] = 1;
+      }
+    }
+  }
+
+  // ---- commit: advance the cache to the new schedule ----
+  for (const graph::OpId u : ctx.moved) {
+    ctx.devices[static_cast<std::size_t>(u)] = placement.device(u);
+  }
+  for (std::size_t d = 0; d < devs; ++d) {
+    const auto k = static_cast<std::size_t>(ctx.kept_dev[d]);
+    ctx.dev_ops[d].resize(k);
+    ctx.dev_busy[d].resize(k);
+  }
+  for (const graph::OpId u : ctx.replay_pick_order) {
+    const auto ui = static_cast<std::size_t>(u);
+    const auto di = static_cast<std::size_t>(ctx.devices[ui]);
+    ctx.dev_ops[di].push_back(u);
+    const double busy =
+        (ctx.dev_busy[di].empty() ? 0.0 : ctx.dev_busy[di].back()) +
+        ctx.compute[ui];
+    ctx.dev_busy[di].push_back(busy);
+  }
+
+  // Merge kept and replayed picks back into the global order.
+  {
+    ctx.merged_pick_order.reserve(ops);
+    std::size_t ki = 0;
+    std::size_t ri = 0;
+    const auto& kept = ctx.pick_order;
+    const auto& replayed = ctx.replay_pick_order;
+    while (ki < kept.size() && is_invalid(kept[ki])) ++ki;
+    while (ki < kept.size() || ri < replayed.size()) {
+      bool take_kept;
+      if (ki >= kept.size()) {
+        take_kept = false;
+      } else if (ri >= replayed.size()) {
+        take_kept = true;
+      } else {
+        const auto a = static_cast<std::size_t>(kept[ki]);
+        const auto b = static_cast<std::size_t>(replayed[ri]);
+        take_kept = !PickKeyLess(ctx.start[b], prio[b], ctx.devices[b],
+                                 ctx.start[a], prio[a], ctx.devices[a]);
+      }
+      if (take_kept) {
+        ctx.merged_pick_order.push_back(kept[ki++]);
+        while (ki < kept.size() && is_invalid(kept[ki])) ++ki;
+      } else {
+        ctx.merged_pick_order.push_back(replayed[ri++]);
+      }
+    }
+    EAGLE_DCHECK(ctx.merged_pick_order.size() == ops);
+    std::swap(ctx.pick_order, ctx.merged_pick_order);
+  }
+
+  // Merge kept and replayed transfers back into creation order; re-sum
+  // the totals in that order so the floating-point accumulation matches a
+  // full run exactly.
+  {
+    ctx.merged_transfers.reserve(ctx.transfers.size() +
+                                 ctx.replay_transfers.size());
+    const auto kept_transfer = [&ctx](const DeltaTransfer& t) {
+      return t.xfer_start < ctx.t_ch[static_cast<std::size_t>(t.channel)];
+    };
+    const auto key_less = [&ctx, &prio](const DeltaTransfer& a,
+                                        const DeltaTransfer& b) {
+      const auto pa = static_cast<std::size_t>(a.producer);
+      const auto pb = static_cast<std::size_t>(b.producer);
+      if (ctx.start[pa] != ctx.start[pb]) return ctx.start[pa] < ctx.start[pb];
+      if (prio[pa] != prio[pb]) return prio[pa] > prio[pb];
+      if (a.src != b.src) return a.src < b.src;
+      return a.ordinal < b.ordinal;
+    };
+    std::size_t ki = 0;
+    std::size_t ri = 0;
+    const auto& kept = ctx.transfers;
+    const auto& replayed = ctx.replay_transfers;
+    while (ki < kept.size() && !kept_transfer(kept[ki])) ++ki;
+    while (ki < kept.size() || ri < replayed.size()) {
+      bool take_kept;
+      if (ki >= kept.size()) {
+        take_kept = false;
+      } else if (ri >= replayed.size()) {
+        take_kept = true;
+      } else {
+        take_kept = !key_less(replayed[ri], kept[ki]);
+      }
+      if (take_kept) {
+        ctx.merged_transfers.push_back(kept[ki++]);
+        while (ki < kept.size() && !kept_transfer(kept[ki])) ++ki;
+      } else {
+        ctx.merged_transfers.push_back(replayed[ri++]);
+      }
+    }
+    std::swap(ctx.transfers, ctx.merged_transfers);
+  }
+  ctx.transfer_seconds_total = 0.0;
+  ctx.transfer_bytes_total = 0;
+  ctx.num_transfers = static_cast<int>(ctx.transfers.size());
+  for (auto& c : ctx.ch_transfers) c.clear();
+  for (std::size_t i = 0; i < ctx.transfers.size(); ++i) {
+    const DeltaTransfer& t = ctx.transfers[i];
+    ctx.transfer_seconds_total += t.xfer_seconds;
+    ctx.transfer_bytes_total += t.bytes;
+    ctx.ch_transfers[static_cast<std::size_t>(t.channel)].push_back(
+        static_cast<std::int32_t>(i));
+  }
+  RebuildCachedTransferIndex(ctx);
+  ctx.step_seconds = 0.0;
+  for (std::size_t i = 0; i < ops; ++i) {
+    ctx.step_seconds = std::max(ctx.step_seconds, ctx.finish[i]);
+  }
+
+  // ---- memory patch: recompute only the disturbed (producer, device)
+  // interval slots, re-sweep only devices whose interval set changed ----
+  if (track_memory) {
+    for (const std::int64_t slot_id : ctx.slot_candidates) {
+      const auto slot = static_cast<std::size_t>(slot_id);
+      const auto p =
+          static_cast<graph::OpId>(slot / static_cast<std::size_t>(num_devices));
+      const auto d =
+          static_cast<DeviceId>(slot % static_cast<std::size_t>(num_devices));
+      const auto pi = static_cast<std::size_t>(p);
+      const auto di = static_cast<std::size_t>(d);
+      bool have = false;
+      std::int64_t first_bytes = 0;
+      double lo = 0.0;
+      double hi = 0.0;
+      const auto contribute = [&have, &first_bytes, &lo,
+                               &hi](double s, double e, std::int64_t b) {
+        if (b <= 0) return;
+        if (!have) {
+          have = true;
+          first_bytes = b;
+          lo = s;
+          hi = e;
+        } else {
+          lo = std::min(lo, s);
+          hi = std::max(hi, e);
+        }
+      };
+      const DeviceId dev_p = ctx.devices[pi];
+      if (dev_p == d) {
+        contribute(ctx.finish[pi], ctx.finish[pi], g.op(p).output_bytes());
+      } else {
+        ctx.seen_bytes.clear();
+        for (const auto ei : g.out_edges(p)) {
+          const graph::Edge& e = g.edges()[static_cast<std::size_t>(ei)];
+          if (ctx.devices[static_cast<std::size_t>(e.dst)] != d) continue;
+          bool seen = false;
+          for (const auto& sb : ctx.seen_bytes) {
+            if (sb.second == e.bytes) {
+              seen = true;
+              break;
+            }
+          }
+          if (seen) continue;
+          ctx.seen_bytes.emplace_back(d, e.bytes);
+          const double* arr = RtLookup(ctx, p, d, e.bytes);
+          EAGLE_DCHECK(arr != nullptr);
+          if (arr != nullptr) contribute(*arr, *arr, e.bytes);
+        }
+      }
+      for (const auto ei : g.out_edges(p)) {
+        const graph::Edge& e = g.edges()[static_cast<std::size_t>(ei)];
+        const auto wi = static_cast<std::size_t>(e.dst);
+        if (ctx.devices[wi] != d) continue;
+        contribute(ctx.start[wi], ctx.finish[wi],
+                   dev_p == d ? g.op(p).output_bytes() : e.bytes);
+      }
+
+      const bool exists = ctx.slot_gen[slot] == ctx.generation;
+      auto& ivs = ctx.intervals[di];
+      if (!have && !exists) continue;
+      if (have && exists) {
+        DeltaInterval& cur = ivs[ctx.slot_index[slot]];
+        if (cur.iv.start == lo && cur.iv.end == hi &&
+            cur.iv.bytes == first_bytes) {
+          continue;
+        }
+        cur.iv = LiveInterval{lo, hi, first_bytes};
+        ctx.dev_dirty[di] = 2;
+      } else if (have) {
+        ctx.slot_gen[slot] = ctx.generation;
+        ctx.slot_index[slot] = static_cast<std::uint32_t>(ivs.size());
+        ivs.push_back(DeltaInterval{p, LiveInterval{lo, hi, first_bytes}});
+        ctx.dev_dirty[di] = 2;
+      } else {
+        const std::uint32_t idx = ctx.slot_index[slot];
+        const std::size_t last = ivs.size() - 1;
+        if (idx != last) {
+          ivs[idx] = ivs[last];
+          ctx.slot_index[Slot(ivs[idx].producer, d, num_devices)] = idx;
+        }
+        ivs.pop_back();
+        ctx.slot_gen[slot] = 0;
+        ctx.dev_dirty[di] = 2;
+      }
+    }
+    ctx.oom = false;
+    ctx.oom_device = -1;
+    for (DeviceId d = 0; d < num_devices; ++d) {
+      const auto di = static_cast<std::size_t>(d);
+      if (ctx.dev_dirty[di] != 0) {
+        if (ctx.dev_dirty[di] == 2) {
+          ctx.iv_scratch.clear();
+          for (const DeltaInterval& iv : ctx.intervals[di]) {
+            ctx.iv_scratch.push_back(iv.iv);
+          }
+          ctx.act_bytes[di] = PeakLiveBytes(ctx.iv_scratch, ctx.event_scratch);
+        }
+        ctx.peak_bytes[di] =
+            ctx.param_bytes[di] +
+            static_cast<std::int64_t>(
+                static_cast<double>(ctx.act_bytes[di]) *
+                in.options->memory.activation_overhead);
+      }
+      if (ctx.peak_bytes[di] > cluster.device(d).memory_bytes && !ctx.oom) {
+        ctx.oom = true;
+        ctx.oom_device = d;
+      }
+    }
+  }
+
+  ctx.stats.hits++;
+  ctx.stats.cone_ops += static_cast<std::int64_t>(cone);
+  BuildResult(ctx, record_schedule, out);
+  return true;
+}
+
+std::string DiffStepResults(const StepResult& a, const StepResult& b) {
+  std::ostringstream os;
+  const auto fail = [&os](const char* field, double got, double want) {
+    os << field << ": " << got << " vs " << want;
+    return os.str();
+  };
+  if (a.oom != b.oom) return fail("oom", a.oom, b.oom);
+  if (a.oom_device != b.oom_device) {
+    return fail("oom_device", a.oom_device, b.oom_device);
+  }
+  if (a.step_seconds != b.step_seconds) {
+    return fail("step_seconds", a.step_seconds, b.step_seconds);
+  }
+  if (a.device_busy_seconds != b.device_busy_seconds) {
+    for (std::size_t d = 0; d < a.device_busy_seconds.size(); ++d) {
+      if (d >= b.device_busy_seconds.size() ||
+          a.device_busy_seconds[d] != b.device_busy_seconds[d]) {
+        os << "device_busy_seconds[" << d << "]";
+        return os.str();
+      }
+    }
+    return "device_busy_seconds size";
+  }
+  if (a.device_peak_bytes != b.device_peak_bytes) return "device_peak_bytes";
+  if (a.device_param_bytes != b.device_param_bytes) {
+    return "device_param_bytes";
+  }
+  if (a.transfer_seconds_total != b.transfer_seconds_total) {
+    return fail("transfer_seconds_total", a.transfer_seconds_total,
+                b.transfer_seconds_total);
+  }
+  if (a.transfer_bytes_total != b.transfer_bytes_total) {
+    return fail("transfer_bytes_total",
+                static_cast<double>(a.transfer_bytes_total),
+                static_cast<double>(b.transfer_bytes_total));
+  }
+  if (a.num_transfers != b.num_transfers) {
+    return fail("num_transfers", a.num_transfers, b.num_transfers);
+  }
+  if (a.schedule.size() != b.schedule.size()) return "schedule size";
+  for (std::size_t i = 0; i < a.schedule.size(); ++i) {
+    const ScheduledOp& x = a.schedule[i];
+    const ScheduledOp& y = b.schedule[i];
+    if (x.op != y.op || x.device != y.device ||
+        x.start_seconds != y.start_seconds ||
+        x.end_seconds != y.end_seconds) {
+      os << "schedule[" << i << "]: op " << x.op << "@" << x.device << " ["
+         << x.start_seconds << ", " << x.end_seconds << "] vs op " << y.op
+         << "@" << y.device << " [" << y.start_seconds << ", "
+         << y.end_seconds << "]";
+      return os.str();
+    }
+  }
+  if (a.transfers.size() != b.transfers.size()) return "transfers size";
+  for (std::size_t i = 0; i < a.transfers.size(); ++i) {
+    const ScheduledTransfer& x = a.transfers[i];
+    const ScheduledTransfer& y = b.transfers[i];
+    if (x.producer != y.producer || x.src != y.src || x.dst != y.dst ||
+        x.bytes != y.bytes || x.start_seconds != y.start_seconds ||
+        x.end_seconds != y.end_seconds) {
+      os << "transfers[" << i << "]: " << x.producer << " " << x.src << "->"
+         << x.dst << " " << x.bytes << "B [" << x.start_seconds << ", "
+         << x.end_seconds << "] vs " << y.producer << " " << y.src << "->"
+         << y.dst << " " << y.bytes << "B [" << y.start_seconds << ", "
+         << y.end_seconds << "]";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace eagle::sim

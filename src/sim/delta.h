@@ -1,0 +1,285 @@
+// Delta re-simulation: incremental re-evaluation of placement moves.
+//
+// RL placement training evaluates long sequences of placements where
+// consecutive candidates differ in one op (Placeto-style moves) or one
+// colocation group. A full discrete-event run re-derives the entire
+// schedule from scratch every time; a DeltaContext instead caches the
+// previous run's schedule (per-op start/finish, per-device op order and
+// busy prefix sums, creation-ordered transfers with their channel
+// timelines, liveness intervals) and, when the next placement differs in
+// at most DeltaOptions::max_moved_ops ops, invalidates only the affected
+// cone and replays that frontier against the cached timelines.
+//
+// The invalidation cone is closed under three rules:
+//   1. downstream closure — every consumer (transitively) of an
+//      invalidated op is invalidated;
+//   2. device timelines — once a device's timeline is disturbed at time
+//      T, every cached op on that device starting at or after T is
+//      invalidated (list scheduling serializes a device, so everything
+//      behind a disturbance can shift);
+//   3. link channels — once a channel is disturbed at time T, every
+//      cached transfer starting at or after T is invalidated, along with
+//      all ops that consumed it (send/recv dedup means one transfer can
+//      feed many consumers).
+// Disturbance times are sound lower bounds (LB) on an invalidated op's
+// new ready time, computed in dependency order from kept producers'
+// cached finishes — never from the op's cached start, because a move can
+// pull an op *earlier* on its new device.
+//
+// The replay then re-runs the event loop restricted to invalidated ops,
+// seeded with the kept prefixes of every device/channel timeline, and
+// merges kept and replayed events back into one schedule. Because the
+// full simulator's pick order is reconstructible from
+// (start, -priority, device) — compute times are strictly positive, so a
+// device's picks strictly increase in start time — the merged schedule,
+// and every floating-point accumulation over it, is bit-identical to a
+// fresh full run. That property is enforced, not assumed: under
+// EAGLE_AUDIT every delta result is compared field-for-field (exact
+// equality, doubles included) against a fresh full run, and
+// tools/graph_fuzz --mode=delta hammers random move sequences in CI.
+//
+// Fallbacks to a full run (which refreshes the context): first use,
+// fault scale vectors differing from the cached run, more than
+// max_moved_ops moved ops, a cone exceeding cutover_fraction of the
+// graph, or a graph containing zero-cost ops (which break the
+// strictly-increasing-start argument the merge relies on).
+//
+// This header is part of the sanctioned hot-path allocation layer
+// (eagle-lint HP01 covers delta.*): all replay scratch lives in
+// epoch-stamped flat vectors inside the DeltaContext, so a warm context
+// performs no heap allocation on the delta path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/op_graph.h"
+#include "sim/device.h"
+#include "sim/memory_model.h"
+#include "sim/sim_workspace.h"
+
+namespace eagle::sim {
+
+class CostModel;
+class Placement;
+struct FaultDraw;
+struct SimulatorOptions;
+struct StepResult;
+
+// Knobs for the delta path, embedded in SimulatorOptions::delta.
+struct DeltaOptions {
+  // Master switch. Off by default at the simulator level; the placement
+  // environment turns it on (results are bit-identical either way).
+  bool enabled = false;
+  // A placement differing in more ops than this falls back to a full run
+  // (covers group moves: a collapsed colocation group counts per op).
+  int max_moved_ops = 32;
+  // Fall back once the invalidation cone exceeds this fraction of the
+  // graph — past that point replay costs as much as a full run.
+  double cutover_fraction = 0.35;
+  // Every fallback still pays for a recorded run plus a cache refresh in
+  // the hope that the *next* placement lands nearby. On move sequences
+  // that keep missing (every eval a fresh distant placement), that hope
+  // is a steady-state tax, so after this many consecutive fallbacks the
+  // context backs off: it serves `fallback_backoff_runs` plain
+  // full runs (no recording, no refresh, near-zero overhead), then
+  // re-primes and tries again. 0 disables the backoff.
+  int fallback_backoff_threshold = 3;
+  int fallback_backoff_runs = 16;
+};
+
+// Running telemetry for one context (mirrored into the sim.delta.*
+// metrics counters by the simulator).
+struct DeltaStats {
+  std::int64_t hits = 0;        // runs served incrementally
+  std::int64_t fallbacks = 0;   // runs that went through the full path
+  std::int64_t cone_ops = 0;    // total invalidated ops across hits
+};
+
+// One cached cross-device transfer from the previous run, in creation
+// order. `ordinal` is the creating edge's position within the producer's
+// out-edge list — the intra-producer tiebreak when kept and replayed
+// transfers are merged back into creation order.
+struct DeltaTransfer {
+  graph::OpId producer = graph::kInvalidOp;
+  DeviceId src = -1;
+  DeviceId dst = -1;
+  std::int64_t bytes = 0;
+  std::int32_t ordinal = 0;
+  std::int32_t channel = 0;
+  double xfer_start = 0.0;
+  double arrival = 0.0;
+  double xfer_seconds = 0.0;
+};
+
+// One cached liveness interval, keyed by its producing op so the memory
+// patcher can find and rewrite exactly the slots a move disturbed.
+struct DeltaInterval {
+  graph::OpId producer = graph::kInvalidOp;
+  LiveInterval iv;
+};
+
+// Cached previous schedule + replay scratch. Leased from a ResourcePool
+// owned by the simulator (one per in-flight evaluation worker, so each
+// worker's chain of consecutive placements stays warm in "its" context).
+// All state is plain vectors; per-run resets are epoch stamps.
+class DeltaContext {
+ public:
+  DeltaStats stats;
+  // Fallback backoff (see DeltaOptions::fallback_backoff_threshold):
+  // consecutive fallbacks since the last hit, and how many plain runs
+  // remain before the cache is re-primed. Managed by RunWithContext.
+  int consecutive_fallbacks = 0;
+  int backoff_remaining = 0;
+
+  // ---- cached previous run (valid only when `valid` is set) ----
+  bool valid = false;
+  int num_ops = 0;
+  int num_devices = 0;
+  int num_channels = 0;
+  bool track_memory = false;
+  // Graphs with any zero-cost op are permanently ineligible (see header
+  // comment); detected at refresh time.
+  bool zero_cost_ops = false;
+  // Fault scales the cached run was taken under (empty == no faults).
+  bool had_faults = false;
+  std::vector<double> fault_compute;
+  std::vector<double> fault_link;
+
+  std::vector<DeviceId> devices;      // cached placement
+  std::vector<double> start;          // per op
+  std::vector<double> finish;         // per op
+  std::vector<double> compute;        // per op (cost model × fault scale)
+  std::vector<graph::OpId> pick_order;  // global schedule order
+  std::vector<std::vector<graph::OpId>> dev_ops;  // per device, in order
+  // dev_busy[d][i] = device d's busy-seconds sum after its (i+1)-th op,
+  // accumulated in schedule order so a kept prefix reproduces the full
+  // run's floating-point sum exactly.
+  std::vector<std::vector<double>> dev_busy;
+  std::vector<DeltaTransfer> transfers;              // creation order
+  std::vector<std::vector<std::int32_t>> ch_transfers;  // per channel
+  std::vector<std::int64_t> param_bytes;  // per device
+  std::vector<std::int64_t> peak_bytes;   // per device
+  bool oom = false;
+  DeviceId oom_device = -1;
+  double step_seconds = 0.0;
+  double transfer_seconds_total = 0.0;
+  std::int64_t transfer_bytes_total = 0;
+  int num_transfers = 0;
+  std::vector<std::vector<DeltaInterval>> intervals;  // per device
+  // (op × device) -> index into intervals[device]; stamped with `generation`.
+  std::vector<std::uint32_t> slot_gen;
+  std::vector<std::uint32_t> slot_index;
+  std::uint32_t generation = 0;
+  // Cached-transfer dedup index over the same flat slots: (producer, dst
+  // device, bytes) → index into `transfers`. The closure uses it to cut a
+  // channel losing a transfer at the transfer's cached start (not at its
+  // producer's possibly much earlier finish), and to skip cuts entirely
+  // when dedup keeps the transfer bit-identical. Rebuilt whenever
+  // `transfers` changes.
+  std::vector<std::uint32_t> ct_gen;
+  std::vector<std::int64_t> ct_bytes;
+  std::vector<std::uint32_t> ct_index;
+  std::vector<std::uint32_t> ct_overflow_head;
+  struct CtOverflow {
+    std::int64_t bytes;
+    std::uint32_t index;
+    std::uint32_t next;
+  };
+  std::vector<CtOverflow> ct_overflow;
+  std::uint32_t ct_generation = 0;
+
+  // ---- per-run replay scratch (epoch-stamped with run_epoch) ----
+  std::uint32_t run_epoch = 0;
+  std::vector<std::uint32_t> invalid_epoch;   // per op
+  std::vector<std::uint32_t> lb_epoch;        // per op
+  std::vector<double> lb;                     // per op (new start lower bound)
+  std::vector<double> lb_finish;              // per op (lb + new compute)
+  std::vector<graph::OpId> worklist;
+  std::vector<double> t_dev;                  // per device
+  std::vector<double> t_ch;                   // per channel
+  std::vector<std::int32_t> kept_dev;         // kept prefix length / device
+  std::vector<std::int32_t> kept_ch;          // kept prefix length / channel
+  std::vector<std::uint32_t> ready_epoch;     // per op
+  std::vector<double> ready_time;             // per op
+  std::vector<std::uint32_t> pending_epoch;   // per op
+  std::vector<int> pending_inputs;            // per op
+  std::vector<std::vector<ReadyOp>> heaps;    // per device
+  std::vector<double> device_free;            // per device
+  std::vector<double> link_free;              // per channel
+  // Replay-time transfer dedup (mirrors SimWorkspace's): flat op × device
+  // primary slots plus slot-local overflow chains.
+  std::vector<std::uint32_t> rt_epoch;
+  std::vector<std::int64_t> rt_bytes;
+  std::vector<double> rt_arrival;
+  std::vector<std::uint32_t> rt_overflow_head;
+  struct RtOverflow {
+    std::int64_t bytes;
+    double arrival;
+    std::uint32_t next;
+  };
+  std::vector<RtOverflow> rt_overflow;
+  // Edges whose (kept producer → invalid consumer) transfer must be
+  // re-emitted at the producer's cached pick position.
+  std::vector<std::uint32_t> edge_unresolved_epoch;  // per edge
+  struct Emission {
+    double pick_start;
+    int priority;
+    DeviceId device;
+    graph::OpId producer;
+  };
+  std::vector<Emission> emissions;
+  std::vector<graph::OpId> replay_pick_order;
+  std::vector<DeltaTransfer> replay_transfers;
+  std::vector<DeltaTransfer> merged_transfers;
+  std::vector<graph::OpId> merged_pick_order;
+  std::vector<std::uint32_t> slot_dirty_epoch;  // op × device candidates
+  std::vector<std::int64_t> slot_candidates;    // flat slot ids
+  std::vector<unsigned char> dev_dirty;         // per device
+  std::vector<graph::OpId> moved;               // ops whose device changed
+  // Cached activation peak (pre-overhead) per device so a param-only
+  // change skips the sweep.
+  std::vector<std::int64_t> act_bytes;
+  // Per-producer (dst device, bytes) dedup scratch for ordinal/interval
+  // reconstruction, and the plain-LiveInterval copy PeakLiveBytes sweeps.
+  std::vector<std::pair<DeviceId, std::int64_t>> seen_bytes;
+  std::vector<LiveInterval> iv_scratch;
+  std::vector<MemEvent> event_scratch;
+};
+
+// Everything the delta engine needs from the owning simulator, bundled so
+// simulator.cpp stays the only caller.
+struct DeltaRunInputs {
+  const graph::OpGraph* graph = nullptr;
+  const ClusterSpec* cluster = nullptr;
+  const CostModel* cost_model = nullptr;
+  const SimulatorOptions* options = nullptr;
+  const std::vector<int>* critical_priority = nullptr;
+  const std::vector<graph::OpId>* topo = nullptr;
+};
+
+// Attempts an incremental run of `placement` against the cached schedule
+// in `ctx`. On success fills `out` (including schedule/transfers when
+// `record_schedule`), advances the cache to the new schedule, and returns
+// true. Returns false when the run must fall back to the full path (cold
+// context, fault mismatch, too many moves, cone past cutover); the caller
+// then performs a full recorded run and hands it to RefreshDeltaContext.
+bool TryDeltaRun(const DeltaRunInputs& in, const Placement& placement,
+                 const FaultDraw* faults, bool record_schedule,
+                 DeltaContext& ctx, StepResult* out);
+
+// Rebuilds the cache from a full run's recorded result (`full` must carry
+// schedule + transfers, i.e. come from a record_schedule run).
+void RefreshDeltaContext(const DeltaRunInputs& in, const Placement& placement,
+                         const FaultDraw* faults, const StepResult& full,
+                         DeltaContext& ctx);
+
+// Field-for-field comparison of two step results, exact on doubles.
+// Returns an empty string when identical, else a human-readable diff of
+// the first mismatching field. Shared by the EAGLE_AUDIT delta check,
+// tools/graph_fuzz --mode=delta and the unit tests.
+std::string DiffStepResults(const StepResult& a, const StepResult& b);
+
+}  // namespace eagle::sim

@@ -1,5 +1,6 @@
 #include "sim/device.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "support/check.h"
@@ -90,6 +91,65 @@ std::vector<DeviceId> ClusterSpec::Gpus() const {
     if (device(i).kind == DeviceKind::kGPU) out.push_back(i);
   }
   return out;
+}
+
+namespace {
+
+// A rate the cost model divides by: must be a positive finite number.
+bool ValidRate(double v) { return std::isfinite(v) && v > 0.0; }
+// An additive cost term: must be a non-negative finite number.
+bool ValidCost(double v) { return std::isfinite(v) && v >= 0.0; }
+
+}  // namespace
+
+support::Status ClusterSpec::Validate() const {
+  using support::ErrorCode;
+  using support::Status;
+  if (devices_.empty()) {
+    return Status::Error(ErrorCode::kSyntax, "cluster has no devices");
+  }
+  std::ostringstream os;
+  for (DeviceId i = 0; i < num_devices(); ++i) {
+    const DeviceSpec& d = device(i);
+    if (!ValidRate(d.gflops)) {
+      os << "device " << i << " ('" << d.name << "'): gflops must be a "
+         << "positive finite number, got " << d.gflops;
+      return Status::Error(ErrorCode::kNumericOverflow, os.str());
+    }
+    if (!ValidRate(d.mem_bw_gbps)) {
+      os << "device " << i << " ('" << d.name << "'): mem_bw_gbps must be a "
+         << "positive finite number, got " << d.mem_bw_gbps;
+      return Status::Error(ErrorCode::kNumericOverflow, os.str());
+    }
+    if (!ValidCost(d.launch_overhead_us)) {
+      os << "device " << i << " ('" << d.name << "'): launch_overhead_us "
+         << "must be a non-negative finite number, got "
+         << d.launch_overhead_us;
+      return Status::Error(ErrorCode::kNumericOverflow, os.str());
+    }
+    if (d.memory_bytes < 0) {
+      os << "device " << i << " ('" << d.name << "'): memory_bytes must be "
+         << "non-negative, got " << d.memory_bytes;
+      return Status::Error(ErrorCode::kNumericOverflow, os.str());
+    }
+  }
+  for (DeviceId s = 0; s < num_devices(); ++s) {
+    for (DeviceId d = 0; d < num_devices(); ++d) {
+      if (s == d) continue;  // the diagonal is never consulted
+      const LinkSpec& l = link(s, d);
+      if (!ValidRate(l.bandwidth_gbps)) {
+        os << "link " << s << "->" << d << ": bandwidth_gbps must be a "
+           << "positive finite number, got " << l.bandwidth_gbps;
+        return Status::Error(ErrorCode::kNumericOverflow, os.str());
+      }
+      if (!ValidCost(l.latency_us)) {
+        os << "link " << s << "->" << d << ": latency_us must be a "
+           << "non-negative finite number, got " << l.latency_us;
+        return Status::Error(ErrorCode::kNumericOverflow, os.str());
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 std::string ClusterSpec::ToString() const {

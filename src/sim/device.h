@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "support/status.h"
+
 namespace eagle::sim {
 
 enum class DeviceKind { kCPU, kGPU };
@@ -58,6 +60,14 @@ class ClusterSpec {
   DeviceId FirstCpu() const;
   // All GPU device ids in insertion order.
   std::vector<DeviceId> Gpus() const;
+
+  // Checks every device and link spec for values the cost model would turn
+  // into inf/NaN step times: compute/bandwidth rates must be positive and
+  // finite, overheads/latencies non-negative and finite, memory
+  // non-negative. Returns kNumericOverflow naming the offending device or
+  // link, or kSyntax for an empty cluster. ExecutionSimulator refuses (via
+  // EAGLE_CHECK) to be constructed over a cluster that fails this.
+  support::Status Validate() const;
 
   std::string ToString() const;
 

@@ -67,15 +67,23 @@ struct SimWorkspace {
   std::vector<std::vector<ReadyOp>> heaps;
 
   // Transfer dedup, exact key (producer, dst device, bytes): the primary
-  // slot holds the first byte size shipped producer→dst this run; the
-  // rare second distinct size spills to the overflow list (linear scan).
+  // slot holds the first byte size shipped producer→dst this run; further
+  // distinct sizes chain through the overflow pool via per-slot `next`
+  // links, so a lookup walks only the sizes parked on *this* slot. (The
+  // previous flat overflow vector was scanned end to end on every
+  // mismatch, which made a producer feeding many distinct-size consumers
+  // on one device O(out-edges × total-overflow) per run.)
   std::vector<std::uint32_t> transfer_epoch;   // op × device
   std::vector<std::int64_t> transfer_bytes;    // op × device
   std::vector<double> transfer_arrival;        // op × device
+  // Head of the slot's overflow chain as index+1 into transfer_overflow
+  // (0 = empty). Only meaningful while transfer_epoch[slot] == epoch, and
+  // reset when the slot is stamped, so it needs no per-run clearing.
+  std::vector<std::uint32_t> transfer_overflow_head;  // op × device
   struct TransferOverflow {
-    std::size_t slot;
     std::int64_t bytes;
     double arrival;
+    std::uint32_t next;  // index+1 of the next entry on this slot; 0 = end
   };
   std::vector<TransferOverflow> transfer_overflow;
 
@@ -101,6 +109,7 @@ struct SimWorkspace {
       transfer_epoch.assign(flat, 0);
       transfer_bytes.resize(flat);
       transfer_arrival.resize(flat);
+      transfer_overflow_head.resize(flat);
       live_epoch.assign(flat, 0);
       live_index.resize(flat);
       epoch = 0;

@@ -1,0 +1,531 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "models/fuzz_corpus.h"
+#include "models/zoo.h"
+#include "sim/delta.h"
+#include "sim/naive_ref.h"
+#include "sim/placement.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+
+namespace eagle::sim {
+namespace {
+
+using graph::OpDef;
+using graph::OpGraph;
+using graph::OpType;
+using graph::TensorShape;
+
+ClusterSpec TwoGpuCluster() {
+  ClusterOptions options;
+  options.num_gpus = 2;
+  return MakeDefaultCluster(options);
+}
+
+// The delta contract is exact equality, doubles included — reuse the same
+// comparison the EAGLE_AUDIT cross-check and graph_fuzz --mode=delta use.
+void ExpectIdentical(const StepResult& got, const StepResult& want) {
+  EXPECT_EQ(DiffStepResults(got, want), std::string());
+}
+
+std::vector<DeviceId> RandomDevices(const OpGraph& g,
+                                    const ClusterSpec& cluster,
+                                    support::Rng& rng) {
+  std::vector<DeviceId> devices(static_cast<std::size_t>(g.num_ops()));
+  for (auto& d : devices) {
+    d = static_cast<DeviceId>(
+        rng.NextBelow(static_cast<std::uint64_t>(cluster.num_devices())));
+  }
+  return devices;
+}
+
+// Drives a move sequence through one persistent DeltaContext and checks
+// every result — including the recorded timeline — against a fresh full
+// run from a delta-free simulator. Returns the context stats.
+DeltaStats DriveMoves(const OpGraph& g, const ClusterSpec& cluster,
+                      SimulatorOptions options, int num_moves,
+                      int ops_per_move, std::uint64_t seed) {
+  options.record_schedule = true;
+  // Correctness harness: disable the fallback backoff so every move
+  // exercises the delta machinery instead of the plain-run escape hatch
+  // (which has its own test below).
+  options.delta.fallback_backoff_threshold = 0;
+  const ExecutionSimulator delta_sim(g, cluster, options);
+  const ExecutionSimulator full_sim(g, cluster, options);
+  DeltaContext ctx;
+  support::Rng rng(seed);
+  std::vector<DeviceId> devices = RandomDevices(g, cluster, rng);
+  for (int move = 0; move <= num_moves; ++move) {
+    Placement placement(g, devices);
+    placement.Normalize(g, cluster);
+    ExpectIdentical(delta_sim.RunWithContext(placement, ctx),
+                    full_sim.Run(placement));
+    for (int i = 0; i < ops_per_move; ++i) {
+      const auto op = rng.NextBelow(static_cast<std::uint64_t>(g.num_ops()));
+      devices[op] = static_cast<DeviceId>(
+          rng.NextBelow(static_cast<std::uint64_t>(cluster.num_devices())));
+    }
+  }
+  return ctx.stats;
+}
+
+TEST(Delta, SingleOpMovesBitIdenticalOnZoo) {
+  const auto cluster = MakeDefaultCluster();
+  models::ZooOptions zoo;
+  zoo.reduced = true;
+  for (const auto benchmark : models::AllBenchmarks()) {
+    SCOPED_TRACE(models::BenchmarkName(benchmark));
+    const OpGraph g = models::BuildBenchmark(benchmark, zoo);
+    const DeltaStats stats = DriveMoves(g, cluster, SimulatorOptions{},
+                                        /*num_moves=*/12, /*ops_per_move=*/1,
+                                        /*seed=*/17);
+    // The first evaluation is necessarily a fallback (cold context); the
+    // sequence as a whole must be served mostly incrementally.
+    EXPECT_GE(stats.fallbacks, 1);
+    EXPECT_GT(stats.hits, 0);
+  }
+}
+
+TEST(Delta, MultiOpMovesBitIdenticalOnFuzzGraph) {
+  const auto cluster = TwoGpuCluster();
+  support::Rng graph_rng(5);
+  models::FuzzGraphConfig config;
+  config.num_ops = 220;
+  config.width = 12;
+  const OpGraph g = models::BuildFuzzGraph(config, graph_rng);
+  // Multi-op moves on a training graph invalidate most of the backward
+  // pass; disable the cutover so the merge machinery itself is exercised
+  // even when nearly everything replays.
+  SimulatorOptions options;
+  options.delta.cutover_fraction = 1.0;
+  const DeltaStats stats = DriveMoves(g, cluster, options,
+                                      /*num_moves=*/10, /*ops_per_move=*/4,
+                                      /*seed=*/29);
+  EXPECT_GT(stats.hits, 0);
+}
+
+TEST(Delta, MemoryTrackingDisabledStillIdentical) {
+  const auto cluster = TwoGpuCluster();
+  support::Rng graph_rng(7);
+  models::FuzzGraphConfig config;
+  config.num_ops = 160;
+  config.width = 10;
+  const OpGraph g = models::BuildFuzzGraph(config, graph_rng);
+  SimulatorOptions options;
+  options.track_memory = false;
+  const DeltaStats stats =
+      DriveMoves(g, cluster, options, /*num_moves=*/8, /*ops_per_move=*/1,
+                 /*seed=*/41);
+  EXPECT_GT(stats.hits, 0);
+}
+
+TEST(Delta, IdenticalPlacementServedFromCache) {
+  const auto cluster = TwoGpuCluster();
+  support::Rng graph_rng(11);
+  models::FuzzGraphConfig config;
+  config.num_ops = 120;
+  config.width = 8;
+  const OpGraph g = models::BuildFuzzGraph(config, graph_rng);
+  SimulatorOptions options;
+  options.record_schedule = true;
+  const ExecutionSimulator delta_sim(g, cluster, options);
+  const ExecutionSimulator full_sim(g, cluster, options);
+  DeltaContext ctx;
+  support::Rng rng(3);
+  Placement placement(g, RandomDevices(g, cluster, rng));
+  placement.Normalize(g, cluster);
+  ExpectIdentical(delta_sim.RunWithContext(placement, ctx),
+                  full_sim.Run(placement));
+  EXPECT_EQ(ctx.stats.fallbacks, 1);
+  ExpectIdentical(delta_sim.RunWithContext(placement, ctx),
+                  full_sim.Run(placement));
+  EXPECT_EQ(ctx.stats.hits, 1);
+  EXPECT_EQ(ctx.stats.fallbacks, 1);
+}
+
+TEST(Delta, RunLeasesContextWhenEnabled) {
+  // ExecutionSimulator::Run() itself goes incremental when
+  // options.delta.enabled — the environment-facing path.
+  const auto cluster = TwoGpuCluster();
+  support::Rng graph_rng(13);
+  models::FuzzGraphConfig config;
+  config.num_ops = 120;
+  config.width = 8;
+  const OpGraph g = models::BuildFuzzGraph(config, graph_rng);
+  SimulatorOptions with_delta;
+  with_delta.delta.enabled = true;
+  const ExecutionSimulator delta_sim(g, cluster, with_delta);
+  const ExecutionSimulator full_sim(g, cluster, SimulatorOptions{});
+  support::Rng rng(19);
+  std::vector<DeviceId> devices = RandomDevices(g, cluster, rng);
+  for (int move = 0; move < 6; ++move) {
+    Placement placement(g, devices);
+    placement.Normalize(g, cluster);
+    ExpectIdentical(delta_sim.Run(placement), full_sim.Run(placement));
+    devices[static_cast<std::size_t>(
+        rng.NextBelow(static_cast<std::uint64_t>(g.num_ops())))] =
+        static_cast<DeviceId>(
+            rng.NextBelow(static_cast<std::uint64_t>(cluster.num_devices())));
+  }
+}
+
+TEST(Delta, FallsBackWhenTooManyOpsMove) {
+  const auto cluster = TwoGpuCluster();
+  support::Rng graph_rng(23);
+  models::FuzzGraphConfig config;
+  config.num_ops = 120;
+  config.width = 8;
+  const OpGraph g = models::BuildFuzzGraph(config, graph_rng);
+  SimulatorOptions options;
+  options.delta.max_moved_ops = 2;
+  const ExecutionSimulator delta_sim(g, cluster, options);
+  const ExecutionSimulator full_sim(g, cluster, options);
+  DeltaContext ctx;
+  support::Rng rng(31);
+  std::vector<DeviceId> devices = RandomDevices(g, cluster, rng);
+  Placement base(g, devices);
+  base.Normalize(g, cluster);
+  ExpectIdentical(delta_sim.RunWithContext(base, ctx), full_sim.Run(base));
+  // Shift every op: far past max_moved_ops.
+  for (auto& d : devices) {
+    d = static_cast<DeviceId>((d + 1) % cluster.num_devices());
+  }
+  Placement shifted(g, devices);
+  shifted.Normalize(g, cluster);
+  ExpectIdentical(delta_sim.RunWithContext(shifted, ctx),
+                  full_sim.Run(shifted));
+  EXPECT_EQ(ctx.stats.fallbacks, 2);
+  EXPECT_EQ(ctx.stats.hits, 0);
+}
+
+TEST(Delta, FallsBackWhenConeExceedsCutover) {
+  // A 40-op chain: moving op 1 invalidates its entire downstream cone, so
+  // a zero cutover fraction forces the full path even for a legal move.
+  OpGraph g;
+  for (int i = 0; i < 40; ++i) {
+    OpDef op;
+    op.name = "op" + std::to_string(i);
+    op.type = OpType::kMatMul;
+    op.flops = 1e7;
+    op.output_shape = TensorShape{64};
+    g.AddOp(op);
+    if (i > 0) g.AddEdge(i - 1, i, 64 * 4);
+  }
+  const auto cluster = TwoGpuCluster();
+  SimulatorOptions options;
+  options.delta.cutover_fraction = 0.0;
+  const ExecutionSimulator delta_sim(g, cluster, options);
+  const ExecutionSimulator full_sim(g, cluster, options);
+  DeltaContext ctx;
+  std::vector<DeviceId> devices(40, 1);
+  Placement base(g, devices);
+  base.Normalize(g, cluster);
+  ExpectIdentical(delta_sim.RunWithContext(base, ctx), full_sim.Run(base));
+  devices[1] = 2;
+  Placement moved(g, devices);
+  moved.Normalize(g, cluster);
+  ExpectIdentical(delta_sim.RunWithContext(moved, ctx), full_sim.Run(moved));
+  EXPECT_EQ(ctx.stats.fallbacks, 2);
+  EXPECT_EQ(ctx.stats.hits, 0);
+}
+
+TEST(Delta, FaultVectorChangeFallsBack) {
+  const auto cluster = TwoGpuCluster();
+  support::Rng graph_rng(37);
+  models::FuzzGraphConfig config;
+  config.num_ops = 100;
+  config.width = 8;
+  const OpGraph g = models::BuildFuzzGraph(config, graph_rng);
+  const ExecutionSimulator delta_sim(g, cluster, {});
+  const ExecutionSimulator full_sim(g, cluster, {});
+  FaultDraw faults;
+  faults.device_down.assign(
+      static_cast<std::size_t>(cluster.num_devices()), false);
+  faults.device_compute_scale.assign(
+      static_cast<std::size_t>(cluster.num_devices()), 1.0);
+  faults.device_compute_scale[1] = 1.7;
+  faults.link_scale.assign(
+      static_cast<std::size_t>(cluster.num_link_channels()), 1.0);
+
+  DeltaContext ctx;
+  support::Rng rng(43);
+  std::vector<DeviceId> devices = RandomDevices(g, cluster, rng);
+  Placement placement(g, devices);
+  placement.Normalize(g, cluster);
+  // Same fault vector twice: second run is a hit.
+  ExpectIdentical(delta_sim.RunWithContext(placement, ctx, &faults),
+                  full_sim.Run(placement, &faults));
+  ExpectIdentical(delta_sim.RunWithContext(placement, ctx, &faults),
+                  full_sim.Run(placement, &faults));
+  EXPECT_EQ(ctx.stats.hits, 1);
+  // Different straggler factor: fallback, then warm again.
+  faults.device_compute_scale[1] = 2.9;
+  ExpectIdentical(delta_sim.RunWithContext(placement, ctx, &faults),
+                  full_sim.Run(placement, &faults));
+  EXPECT_EQ(ctx.stats.fallbacks, 2);
+  // Dropping faults entirely is also a cache mismatch.
+  ExpectIdentical(delta_sim.RunWithContext(placement, ctx),
+                  full_sim.Run(placement));
+  EXPECT_EQ(ctx.stats.fallbacks, 3);
+  // And a single-op move under the (new) cached no-fault run hits again.
+  devices[0] = static_cast<DeviceId>((devices[0] + 1) %
+                                     cluster.num_devices());
+  Placement moved(g, devices);
+  moved.Normalize(g, cluster);
+  ExpectIdentical(delta_sim.RunWithContext(moved, ctx),
+                  full_sim.Run(moved));
+  EXPECT_EQ(ctx.stats.hits + ctx.stats.fallbacks, 5);
+}
+
+TEST(Delta, OomTransitionsTrackedAcrossMoves) {
+  // Two heavyweight param ops: together they OOM a small GPU, apart they
+  // fit. The delta path must flip `oom` in both directions.
+  const std::int64_t gpu_bytes = 1LL << 26;  // 64 MB
+  ClusterOptions copts;
+  copts.num_gpus = 2;
+  copts.gpu_memory_bytes = gpu_bytes;
+  const auto cluster = MakeDefaultCluster(copts);
+  OpGraph g;
+  for (int i = 0; i < 2; ++i) {
+    OpDef op;
+    op.name = "w" + std::to_string(i);
+    op.type = OpType::kMatMul;
+    op.flops = 1e8;
+    op.output_shape = TensorShape{64};
+    op.param_bytes = (gpu_bytes * 3) / 4;
+    g.AddOp(op);
+  }
+  OpDef sink;
+  sink.name = "sink";
+  sink.type = OpType::kMatMul;
+  sink.flops = 1e8;
+  sink.output_shape = TensorShape{64};
+  g.AddOp(sink);
+  g.AddEdge(0, 2, 256);
+  g.AddEdge(1, 2, 256);
+
+  SimulatorOptions options;
+  options.record_schedule = true;
+  // On a 3-op graph any move's cone is the whole graph; the cutover would
+  // turn every run into a fallback and leave the memory patcher untested.
+  options.delta.cutover_fraction = 1.0;
+  const ExecutionSimulator delta_sim(g, cluster, options);
+  const ExecutionSimulator full_sim(g, cluster, options);
+  DeltaContext ctx;
+  std::vector<DeviceId> devices{1, 1, 1};  // both weights on gpu:0 — OOM
+  Placement together(g, devices);
+  together.Normalize(g, cluster);
+  const auto oom_result = delta_sim.RunWithContext(together, ctx);
+  EXPECT_TRUE(oom_result.oom);
+  ExpectIdentical(oom_result, full_sim.Run(together));
+
+  devices[1] = 2;  // split: fits
+  Placement split(g, devices);
+  split.Normalize(g, cluster);
+  const auto fit_result = delta_sim.RunWithContext(split, ctx);
+  EXPECT_FALSE(fit_result.oom);
+  ExpectIdentical(fit_result, full_sim.Run(split));
+
+  devices[1] = 1;  // back together — OOM again, via the delta path
+  Placement again(g, devices);
+  again.Normalize(g, cluster);
+  const auto oom_again = delta_sim.RunWithContext(again, ctx);
+  EXPECT_TRUE(oom_again.oom);
+  ExpectIdentical(oom_again, full_sim.Run(again));
+  EXPECT_GT(ctx.stats.hits, 0);
+}
+
+TEST(Delta, FallbackBackoffSkipsRefreshUnderThrash) {
+  const auto cluster = TwoGpuCluster();
+  support::Rng graph_rng(51);
+  models::FuzzGraphConfig config;
+  config.num_ops = 80;
+  config.width = 6;
+  const OpGraph g = models::BuildFuzzGraph(config, graph_rng);
+  SimulatorOptions options;
+  options.delta.max_moved_ops = 2;
+  options.delta.fallback_backoff_threshold = 3;
+  options.delta.fallback_backoff_runs = 4;
+  const ExecutionSimulator delta_sim(g, cluster, options);
+  const ExecutionSimulator full_sim(g, cluster, options);
+  DeltaContext ctx;
+  support::Rng rng(53);
+  // Thrash: every placement far (>max_moved_ops) from the previous one.
+  // Three consecutive fallbacks trip the backoff.
+  std::vector<DeviceId> third;
+  for (int i = 0; i < 3; ++i) {
+    const std::vector<DeviceId> devices = RandomDevices(g, cluster, rng);
+    if (i == 2) third = devices;
+    Placement p(g, devices);
+    p.Normalize(g, cluster);
+    ExpectIdentical(delta_sim.RunWithContext(p, ctx), full_sim.Run(p));
+  }
+  EXPECT_EQ(ctx.stats.fallbacks, 3);
+  EXPECT_EQ(ctx.backoff_remaining, 4);
+  // While backed off the fallback skips the refresh: even re-running the
+  // placement just evaluated misses, because the cache still holds run
+  // #3's schedule.
+  const std::vector<DeviceId> devices = RandomDevices(g, cluster, rng);
+  Placement p4(g, devices);
+  p4.Normalize(g, cluster);
+  ExpectIdentical(delta_sim.RunWithContext(p4, ctx), full_sim.Run(p4));
+  ExpectIdentical(delta_sim.RunWithContext(p4, ctx), full_sim.Run(p4));
+  EXPECT_EQ(ctx.stats.hits, 0);
+  EXPECT_EQ(ctx.stats.fallbacks, 5);
+  EXPECT_EQ(ctx.backoff_remaining, 2);
+  // The still-cached run-#3 placement hits and clears the backoff.
+  Placement back(g, third);
+  back.Normalize(g, cluster);
+  ExpectIdentical(delta_sim.RunWithContext(back, ctx), full_sim.Run(back));
+  EXPECT_EQ(ctx.stats.hits, 1);
+  EXPECT_EQ(ctx.backoff_remaining, 0);
+}
+
+// ---- satellite: workspace epoch wrap + shape changes ----
+
+TEST(SimWorkspace, EpochWrapRestampsCleanly) {
+  // Prime the pooled workspace's epoch next to the 2^32 boundary and run
+  // straight through the wrap; each run must match a fresh simulator.
+  const auto cluster = TwoGpuCluster();
+  support::Rng graph_rng(47);
+  models::FuzzGraphConfig config;
+  config.num_ops = 120;
+  config.width = 8;
+  const OpGraph g = models::BuildFuzzGraph(config, graph_rng);
+  SimulatorOptions options;
+  options.record_schedule = true;
+  const ExecutionSimulator wrapped(g, cluster, options);
+  wrapped.PrimeWorkspaceEpochForTest(
+      std::numeric_limits<std::uint32_t>::max() - 2);
+  support::Rng rng(53);
+  for (int round = 0; round < 6; ++round) {
+    Placement placement(g, RandomDevices(g, cluster, rng));
+    placement.Normalize(g, cluster);
+    const ExecutionSimulator fresh(g, cluster, options);
+    ExpectIdentical(wrapped.Run(placement), fresh.Run(placement));
+  }
+}
+
+TEST(SimWorkspace, PrepareHandlesShapeChanges) {
+  SimWorkspace ws;
+  ws.Prepare(4, 2, 8);
+  EXPECT_EQ(ws.epoch, 1u);
+  ws.Prepare(4, 2, 8);
+  EXPECT_EQ(ws.epoch, 2u);
+  // More devices: the flat op×device arrays regrow and epochs restart, so
+  // no stale stamp from the old shape can alias a live slot.
+  ws.Prepare(4, 3, 18);
+  EXPECT_EQ(ws.epoch, 1u);
+  EXPECT_EQ(ws.live_epoch.size(), 12u);
+  EXPECT_EQ(ws.transfer_overflow_head.size(), 12u);
+  EXPECT_EQ(ws.heaps.size(), 3u);
+  // Back to the smaller shape: same reset.
+  ws.Prepare(4, 2, 8);
+  EXPECT_EQ(ws.epoch, 1u);
+  EXPECT_EQ(ws.live_epoch.size(), 8u);
+  // Op-count change alone also reshapes.
+  ws.Prepare(6, 2, 8);
+  EXPECT_EQ(ws.epoch, 1u);
+  EXPECT_EQ(ws.ready_epoch.size(), 6u);
+}
+
+// ---- satellite: per-slot transfer-dedup overflow chaining ----
+
+TEST(Simulator, TransferDedupManyDistinctSizesPerSlot) {
+  // Adversarial shape for the old flat overflow list: one producer ships
+  // many distinct tensor widths to one device, so every lookup used to
+  // scan every previous overflow entry. Correctness check: each distinct
+  // size is one physical transfer, duplicates still dedup, and the
+  // result matches the frozen reference bit-for-bit.
+  constexpr int kConsumers = 48;
+  OpGraph g;
+  OpDef producer;
+  producer.name = "producer";
+  producer.type = OpType::kMatMul;
+  producer.flops = 1e6;
+  producer.output_shape = TensorShape{16};
+  g.AddOp(producer);
+  std::int64_t distinct_bytes = 0;
+  for (int i = 0; i < kConsumers; ++i) {
+    OpDef use;
+    use.name = "use" + std::to_string(i);
+    use.type = OpType::kMatMul;
+    use.flops = 1e6;
+    use.output_shape = TensorShape{16};
+    g.AddOp(use);
+    // Every third consumer repeats the previous size — the dedup must
+    // find it mid-chain, not just at the primary slot.
+    const std::int64_t bytes =
+        (i % 3 == 2) ? 1000 + (i - 1) * 8 : 1000 + i * 8;
+    if (i % 3 != 2) distinct_bytes += bytes;
+    g.AddEdge(0, i + 1, bytes);
+  }
+  const auto cluster = TwoGpuCluster();
+  SimulatorOptions options;
+  options.record_schedule = true;
+  ExecutionSimulator simulator(g, cluster, options);
+  std::vector<DeviceId> devices(static_cast<std::size_t>(g.num_ops()), 2);
+  devices[0] = 1;
+  Placement placement(g, devices);
+  placement.Normalize(g, cluster);
+  const auto result = simulator.Run(placement);
+  EXPECT_EQ(result.num_transfers, kConsumers - kConsumers / 3);
+  EXPECT_EQ(result.transfer_bytes_total, distinct_bytes);
+  ExpectIdentical(result,
+                  naive::RunReference(g, cluster, options, placement, nullptr,
+                                      /*record_schedule=*/true));
+}
+
+// ---- satellite: cluster spec validation ----
+
+TEST(ClusterSpec, ValidateRejectsDegenerateSpecs) {
+  EXPECT_EQ(ClusterSpec().Validate().code(), support::ErrorCode::kSyntax);
+
+  auto zero_gflops = TwoGpuCluster();
+  {
+    ClusterOptions opts;
+    opts.num_gpus = 2;
+    opts.gpu_gflops = 0.0;
+    zero_gflops = MakeDefaultCluster(opts);
+  }
+  const auto status = zero_gflops.Validate();
+  EXPECT_EQ(status.code(), support::ErrorCode::kNumericOverflow);
+  EXPECT_NE(status.ToString().find("gflops"), std::string::npos);
+
+  ClusterOptions nan_pcie;
+  nan_pcie.num_gpus = 1;
+  nan_pcie.pcie_gbps = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(MakeDefaultCluster(nan_pcie).Validate().code(),
+            support::ErrorCode::kNumericOverflow);
+
+  ClusterOptions neg_latency;
+  neg_latency.num_gpus = 1;
+  neg_latency.pcie_latency_us = -1.0;
+  EXPECT_EQ(MakeDefaultCluster(neg_latency).Validate().code(),
+            support::ErrorCode::kNumericOverflow);
+
+  EXPECT_TRUE(TwoGpuCluster().Validate().ok());
+}
+
+TEST(ClusterSpec, SimulatorRefusesInvalidCluster) {
+  ClusterOptions opts;
+  opts.num_gpus = 1;
+  opts.gpu_gflops = -5.0;
+  const auto bad = MakeDefaultCluster(opts);
+  OpGraph g;
+  OpDef op;
+  op.name = "op";
+  op.type = OpType::kMatMul;
+  op.flops = 1e6;
+  op.output_shape = TensorShape{16};
+  g.AddOp(op);
+  EXPECT_THROW(ExecutionSimulator(g, bad), std::logic_error);
+}
+
+}  // namespace
+}  // namespace eagle::sim

@@ -15,9 +15,16 @@
 //   e2e       generate → serialize → re-ingest → validate → METIS-group
 //             → simulate one training step, end to end, at stress scale:
 //               $ ./graph_fuzz --mode=e2e --ops=100000
+//   delta     differential gate for delta re-simulation: drive random
+//             single- and multi-op move sequences on the benchmark zoo
+//             plus fuzz-corpus training graphs, comparing every
+//             delta-path result field-for-field (doubles exact) against
+//             a fresh full run:
+//               $ ./graph_fuzz --mode=delta --iters=50
 //
-// Exit codes: 0 success, 2 structured ingestion failure (e2e/fuzz input),
-// matching the friendly-diagnostic convention of the other tools.
+// Exit codes: 0 success, 1 delta divergence, 2 structured ingestion
+// failure (e2e/fuzz input), matching the friendly-diagnostic convention
+// of the other tools.
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -29,7 +36,9 @@
 #include "graph/grouped_graph.h"
 #include "graph/ingest.h"
 #include "models/fuzz_corpus.h"
+#include "models/zoo.h"
 #include "partition/metis_like.h"
+#include "sim/delta.h"
 #include "sim/device.h"
 #include "sim/placement.h"
 #include "sim/simulator.h"
@@ -146,11 +155,88 @@ int RunE2e(int ops, std::uint64_t seed, bool json) {
   return 0;
 }
 
+// Drives `iters` evaluations of a random move sequence on `graph`
+// through one persistent DeltaContext, comparing each against a fresh
+// full run. Returns 0 when every result is bit-identical.
+int DriveDeltaMoves(const std::string& label, const graph::OpGraph& graph,
+                    const sim::ClusterSpec& cluster, int iters,
+                    support::Rng& rng, int* checked) {
+  sim::SimulatorOptions options;
+  options.record_schedule = true;  // diff the full timeline, not summaries
+  // Exercise the replay machinery on every move: no cutover escape, no
+  // fallback backoff. (Production defaults are gentler; correctness must
+  // not depend on them.)
+  options.delta.cutover_fraction = 1.0;
+  options.delta.fallback_backoff_threshold = 0;
+  options.delta.max_moved_ops = 64;
+  const sim::ExecutionSimulator delta_sim(graph, cluster, options);
+  const sim::ExecutionSimulator full_sim(graph, cluster, options);
+  sim::DeltaContext ctx;
+  std::vector<sim::DeviceId> devices(static_cast<std::size_t>(graph.num_ops()));
+  for (auto& d : devices) {
+    d = static_cast<sim::DeviceId>(
+        rng.NextBelow(static_cast<std::uint64_t>(cluster.num_devices())));
+  }
+  for (int i = 0; i < iters; ++i) {
+    sim::Placement placement(graph, devices);
+    placement.Normalize(graph, cluster);
+    const sim::StepResult got = delta_sim.RunWithContext(placement, ctx);
+    const sim::StepResult want = full_sim.Run(placement);
+    const std::string diff = sim::DiffStepResults(got, want);
+    if (!diff.empty()) {
+      std::fprintf(stderr,
+                   "graph_fuzz: delta diverged on %s, move %d: %s\n",
+                   label.c_str(), i, diff.c_str());
+      return 1;
+    }
+    ++*checked;
+    // 1–4 random op moves per step: singles dominate training, multis
+    // cover colocation-group collapses and overlapping cones.
+    const int moves = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int m = 0; m < moves; ++m) {
+      devices[static_cast<std::size_t>(rng.NextBelow(
+          static_cast<std::uint64_t>(graph.num_ops())))] =
+          static_cast<sim::DeviceId>(rng.NextBelow(
+              static_cast<std::uint64_t>(cluster.num_devices())));
+    }
+  }
+  return 0;
+}
+
+int RunDeltaDiff(int iters, std::uint64_t seed) {
+  const auto cluster = sim::MakeDefaultCluster();
+  support::Rng rng(seed);
+  int checked = 0;
+  for (const auto benchmark : models::AllBenchmarks()) {
+    models::ZooOptions zoo;
+    zoo.reduced = true;
+    const graph::OpGraph graph = models::BuildBenchmark(benchmark, zoo);
+    if (DriveDeltaMoves(models::BenchmarkName(benchmark), graph, cluster,
+                        iters, rng, &checked) != 0) {
+      return 1;
+    }
+  }
+  for (int c = 0; c < 3; ++c) {
+    models::FuzzGraphConfig config;
+    config.num_ops = 120 + 80 * c;
+    config.width = 6 + 4 * c;
+    support::Rng graph_rng(seed + static_cast<std::uint64_t>(c) * 977);
+    const graph::OpGraph graph = models::BuildFuzzGraph(config, graph_rng);
+    if (DriveDeltaMoves("fuzz" + std::to_string(c), graph, cluster, iters,
+                        rng, &checked) != 0) {
+      return 1;
+    }
+  }
+  std::printf("delta diff clean: %d evaluations bit-identical to full\n",
+              checked);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   support::ArgParser args("EAGLE graph-ingestion fuzzer");
-  args.AddString("mode", "fuzz", "generate | fuzz | e2e");
+  args.AddString("mode", "fuzz", "generate | fuzz | e2e | delta");
   args.AddInt("ops", 10000, "approximate op count (generate/e2e)");
   args.AddInt("seed", 1, "deterministic corpus seed");
   args.AddInt("iters", 1000, "mutants to try (fuzz)");
@@ -198,6 +284,9 @@ int main(int argc, char** argv) {
   }
   if (mode == "e2e") {
     return RunE2e(ops, seed, is_json(""));
+  }
+  if (mode == "delta") {
+    return RunDeltaDiff(static_cast<int>(args.GetInt("iters")), seed);
   }
   std::fprintf(stderr, "graph_fuzz: unknown --mode=%s\n", mode.c_str());
   return 2;
