@@ -2,22 +2,25 @@
 # The one-command CI gate, chaining every check the repo ships:
 #   1. configure + build,
 #   2. the tier-1 test suite,
-#   3. static analysis (eagle-lint, header self-containment, audited
+#   3. a timed whole-tree eagle-lint v2 pass in JSON mode (cross-file
+#      rules LY01/ST01/LK01/HP02 included) that must finish inside the
+#      5 s tier-1 budget,
+#   4. static analysis (eagle-lint, header self-containment, audited
 #      tests, clang-tidy when installed — scripts/run_static_analysis.sh),
-#   4. a telemetry smoke run: a tiny bench_fig5 training run with
+#   5. a telemetry smoke run: a tiny bench_fig5 training run with
 #      --telemetry-out / --profile-out must produce JSONL that
 #      tools/metrics_report parses and a Chrome trace containing
 #      trainer-phase spans (see docs/OBSERVABILITY.md),
-#   5. a kernel-bench smoke run: bench_micro --smoke must complete and
+#   6. a kernel-bench smoke run: bench_micro --smoke must complete and
 #      emit well-formed BENCH_kernels.json (tiny shapes — it guards the
 #      harness and the naive-reference plumbing, not the perf ratios;
 #      see docs/PERFORMANCE.md),
-#   6. an ingestion fuzz smoke: graph_fuzz built with ASan+UBSan mutates
+#   7. an ingestion fuzz smoke: graph_fuzz built with ASan+UBSan mutates
 #      seeded .eg/.json corpora 10k/2k times against the hardened parser
 #      (any crash or uncaught throw fails here) and runs a 100k-op
 #      generate→ingest→validate→group→simulate pass end to end (see
 #      docs/GRAPH_FORMATS.md),
-#   7. a delta differential smoke under the same sanitizer build:
+#   8. a delta differential smoke under the same sanitizer build:
 #      graph_fuzz --mode=delta replays random single- and multi-op move
 #      sequences on zoo + fuzz graphs and fails on the first result that
 #      is not bit-identical to a fresh full run (see docs/SIMULATOR.md).
@@ -31,6 +34,18 @@ cmake --build "$BUILD" -j
 echo "=== tier-1 test suite ==="
 (cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
 echo TESTS_CLEAN
+
+echo "=== eagle-lint v2 (cross-file, timed) ==="
+# The two-phase linter must stay fast enough to live inside plain ctest:
+# record its wall time over the whole tree and enforce the 5 s budget
+# (the same budget the lint_repo ctest carries as TIMEOUT).
+LINT_START=$(date +%s%N)
+"$BUILD/tools/lint/eagle-lint" --root=. --format=json
+LINT_MS=$(( ($(date +%s%N) - LINT_START) / 1000000 ))
+echo "lint wall time: ${LINT_MS} ms"
+test "$LINT_MS" -lt 5000 ||
+  { echo "lint exceeded its 5 s tier-1 budget"; exit 1; }
+echo LINT_V2_CLEAN
 
 echo "=== static analysis ==="
 scripts/run_static_analysis.sh "$BUILD-audit"

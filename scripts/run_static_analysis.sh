@@ -15,8 +15,16 @@ BUILD=${1:-build-audit}
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEAGLE_AUDIT=ON
 cmake --build "$BUILD" -j
 
-echo "=== eagle-lint ==="
-"$BUILD/tools/lint/eagle-lint" --root=.
+echo "=== eagle-lint (two-phase, JSON) ==="
+# One JSON-mode run: the exit code fails on any unsuppressed finding,
+# and the machine-readable output is kept for inspection. "findings"
+# is empty on a clean tree even when justified allow(...) waivers are
+# present ("suppressed" counts those separately).
+LINT_JSON=$(mktemp)
+"$BUILD/tools/lint/eagle-lint" --root=. --format=json | tee "$LINT_JSON"
+grep -q '"findings": \[\]' "$LINT_JSON" ||
+  { echo "unsuppressed lint findings (see above)"; rm -f "$LINT_JSON"; exit 1; }
+rm -f "$LINT_JSON"
 echo LINT_CLEAN
 
 echo "=== header self-containment ==="

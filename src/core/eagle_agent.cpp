@@ -60,7 +60,7 @@ HierarchicalAgent::HierarchicalAgent(const graph::OpGraph& graph,
 }
 
 HierarchicalAgent::PolicyOutput HierarchicalAgent::RunPolicy(
-    nn::Tape& tape, support::Rng* rng, const rl::Sample* forced) {
+    nn::Tape& tape, support::Rng* rng, const Sample* forced) {
   EAGLE_CHECK((rng != nullptr) != (forced != nullptr));
   const int k = config_.dims.num_groups;
   PolicyOutput out;
@@ -123,10 +123,10 @@ HierarchicalAgent::PolicyOutput HierarchicalAgent::RunPolicy(
   return out;
 }
 
-rl::Sample HierarchicalAgent::SampleDecision(support::Rng& rng) {
+Sample HierarchicalAgent::SampleDecision(support::Rng& rng) {
   nn::Tape tape;
   PolicyOutput out = RunPolicy(tape, &rng, nullptr);
-  rl::Sample sample;
+  Sample sample;
   sample.grouping = std::move(out.grouping);
   sample.group_devices = std::move(out.devices);
   sample.logp = static_cast<double>(tape.value(out.logp).at(0, 0));
@@ -140,12 +140,12 @@ rl::Sample HierarchicalAgent::SampleDecision(support::Rng& rng) {
 }
 
 HierarchicalAgent::Score HierarchicalAgent::ScoreDecision(
-    nn::Tape& tape, const rl::Sample& sample) {
+    nn::Tape& tape, const Sample& sample) {
   PolicyOutput out = RunPolicy(tape, nullptr, &sample);
   return Score{out.logp, out.entropy};
 }
 
-sim::Placement HierarchicalAgent::ToPlacement(const rl::Sample& sample) const {
+sim::Placement HierarchicalAgent::ToPlacement(const Sample& sample) const {
   graph::GroupedGraph grouped(*graph_, sample.grouping,
                               config_.dims.num_groups);
   sim::Placement placement(*graph_, grouped.ExpandToOps(sample.group_devices));

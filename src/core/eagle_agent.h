@@ -24,11 +24,11 @@
 
 #include "core/bridge_rnn.h"
 #include "core/gcn_placer.h"
-#include "core/grouper_ffn.h"
 #include "core/group_embedding.h"
+#include "core/grouper_ffn.h"
+#include "core/policy.h"
 #include "core/run_config.h"
 #include "core/seq2seq_placer.h"
-#include "rl/episode.h"
 #include "sim/device.h"
 
 namespace eagle::core {
@@ -54,15 +54,15 @@ struct HierarchicalAgentConfig {
   std::uint64_t seed = 1;
 };
 
-class HierarchicalAgent : public rl::PolicyAgent {
+class HierarchicalAgent : public PolicyAgent {
  public:
   HierarchicalAgent(const graph::OpGraph& graph,
                     const sim::ClusterSpec& cluster,
                     HierarchicalAgentConfig config);
 
-  rl::Sample SampleDecision(support::Rng& rng) override;
-  Score ScoreDecision(nn::Tape& tape, const rl::Sample& sample) override;
-  sim::Placement ToPlacement(const rl::Sample& sample) const override;
+  Sample SampleDecision(support::Rng& rng) override;
+  Score ScoreDecision(nn::Tape& tape, const Sample& sample) override;
+  sim::Placement ToPlacement(const Sample& sample) const override;
   nn::ParamStore& params() override { return store_; }
   const char* name() const override { return config_.display_name.c_str(); }
 
@@ -76,7 +76,7 @@ class HierarchicalAgent : public rl::PolicyAgent {
     nn::Var entropy;
   };
   PolicyOutput RunPolicy(nn::Tape& tape, support::Rng* rng,
-                         const rl::Sample* forced);
+                         const Sample* forced);
 
   const graph::OpGraph* graph_;
   const sim::ClusterSpec* cluster_;

@@ -39,7 +39,7 @@
 #include <vector>
 
 #include "core/eval_cache.h"
-#include "rl/trainer.h"
+#include "core/policy.h"
 #include "sim/fault.h"
 #include "sim/measurement.h"
 #include "support/retry.h"
@@ -90,7 +90,7 @@ struct EvalOutcome {
   double backoff_seconds = 0.0;
 };
 
-class PlacementEnvironment : public rl::Environment {
+class PlacementEnvironment : public Environment {
  public:
   PlacementEnvironment(const graph::OpGraph& graph,
                        const sim::ClusterSpec& cluster,

@@ -22,12 +22,12 @@
 #include <vector>
 
 #include "core/env.h"
-#include "rl/trainer.h"
+#include "core/policy.h"
 #include "support/thread_pool.h"
 
 namespace eagle::core {
 
-class EvalService : public rl::BatchEvaluator {
+class EvalService : public BatchEvaluator {
  public:
   // num_threads <= 1 evaluates inline on the calling thread (still via
   // the three-phase protocol, so results match the threaded path).

@@ -2,8 +2,8 @@
 
 #include <cmath>
 
+#include "core/policy.h"
 #include "partition/metis_like.h"
-#include "rl/baseline.h"
 #include "support/check.h"
 
 namespace eagle::core {
@@ -78,7 +78,7 @@ PlacetoResult PlacetoAgent::Train() {
                                         .beta2 = 0.999,
                                         .eps = 1e-8,
                                         .clip_norm = 1.0});
-  rl::EmaBaseline baseline(options_.ema_decay);
+  EmaBaseline baseline(options_.ema_decay);
   PlacetoResult result;
   result.best_per_step_seconds = std::numeric_limits<double>::infinity();
 

@@ -54,10 +54,10 @@ PostAgent::Output PostAgent::RunPolicy(
   return out;
 }
 
-rl::Sample PostAgent::SampleDecision(support::Rng& rng) {
+Sample PostAgent::SampleDecision(support::Rng& rng) {
   nn::Tape tape;
   Output out = RunPolicy(tape, &rng, nullptr);
-  rl::Sample sample;
+  Sample sample;
   sample.grouping = grouping_;
   sample.group_devices = std::move(out.devices);
   sample.logp = static_cast<double>(tape.value(out.logp).at(0, 0));
@@ -66,12 +66,12 @@ rl::Sample PostAgent::SampleDecision(support::Rng& rng) {
 }
 
 PostAgent::Score PostAgent::ScoreDecision(nn::Tape& tape,
-                                          const rl::Sample& sample) {
+                                          const Sample& sample) {
   Output out = RunPolicy(tape, nullptr, &sample.group_devices);
   return Score{out.logp, out.entropy};
 }
 
-sim::Placement PostAgent::ToPlacement(const rl::Sample& sample) const {
+sim::Placement PostAgent::ToPlacement(const Sample& sample) const {
   graph::GroupedGraph grouped(*graph_, sample.grouping, config_.num_groups);
   sim::Placement placement(*graph_, grouped.ExpandToOps(sample.group_devices));
   placement.Normalize(*graph_, *cluster_);

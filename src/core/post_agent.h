@@ -14,9 +14,9 @@
 #include <string>
 
 #include "core/group_embedding.h"
+#include "core/policy.h"
 #include "core/run_config.h"
 #include "nn/layers.h"
-#include "rl/episode.h"
 #include "sim/device.h"
 
 namespace eagle::core {
@@ -29,14 +29,14 @@ struct PostAgentConfig {
   std::uint64_t seed = 1;
 };
 
-class PostAgent : public rl::PolicyAgent {
+class PostAgent : public PolicyAgent {
  public:
   PostAgent(const graph::OpGraph& graph, const sim::ClusterSpec& cluster,
             graph::Grouping grouping, PostAgentConfig config);
 
-  rl::Sample SampleDecision(support::Rng& rng) override;
-  Score ScoreDecision(nn::Tape& tape, const rl::Sample& sample) override;
-  sim::Placement ToPlacement(const rl::Sample& sample) const override;
+  Sample SampleDecision(support::Rng& rng) override;
+  Score ScoreDecision(nn::Tape& tape, const Sample& sample) override;
+  sim::Placement ToPlacement(const Sample& sample) const override;
   nn::ParamStore& params() override { return store_; }
   const char* name() const override { return config_.display_name.c_str(); }
 

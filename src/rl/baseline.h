@@ -1,34 +1,14 @@
 // Exponential-moving-average reward baseline (§III-D).
 //
-// The paper found an A2C-style value network under-trained at device-
-// placement sample rates and replaced it with an EMA baseline:
-//   B_t = ExpMovAvg(R_t),  Â_t = R_t - B_t.
+// The implementation lives in core/policy.h (next to the interfaces the
+// checkpointed trainer state serializes); this header re-exports it under
+// the rl vocabulary.
 #pragma once
+
+#include "core/policy.h"
 
 namespace eagle::rl {
 
-class EmaBaseline {
- public:
-  explicit EmaBaseline(double decay = 0.9) : decay_(decay) {}
-
-  // Returns the advantage R - B using the baseline *before* folding R in,
-  // then updates the average. The first observation seeds the baseline
-  // (advantage 0), matching common implementations.
-  double AdvantageAndUpdate(double reward);
-
-  double value() const { return value_; }
-  bool initialized() const { return initialized_; }
-
-  // Restores a checkpointed baseline (crash-safe training resume).
-  void set_state(double value, bool initialized) {
-    value_ = value;
-    initialized_ = initialized;
-  }
-
- private:
-  double decay_;
-  double value_ = 0.0;
-  bool initialized_ = false;
-};
+using EmaBaseline = core::EmaBaseline;
 
 }  // namespace eagle::rl

@@ -1,67 +1,16 @@
 // Episode data shared between agents and training algorithms.
 //
-// Device placement is a one-shot (contextual-bandit-like) RL problem: one
-// decision (grouping + per-group devices), one reward (negative square
-// root of the measured per-step time, Eq. 4). A Sample records the actions
-// and the log-probability under the policy that generated them, so PPO can
-// form importance ratios when re-scoring under updated parameters.
+// The definitions live in core/policy.h so the dependency arrow matches
+// the layer DAG (core implements the interfaces, rl consumes them; LY01
+// forbids core including rl). This header re-exports them under the rl
+// vocabulary the training code and tests use.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "graph/grouped_graph.h"
-#include "nn/layers.h"
-#include "nn/tape.h"
-#include "sim/placement.h"
-#include "support/rng.h"
+#include "core/policy.h"
 
 namespace eagle::rl {
 
-struct Sample {
-  // Actions: grouping over ops (empty when the grouper is fixed/heuristic)
-  // and a device per group.
-  graph::Grouping grouping;
-  std::vector<std::int32_t> group_devices;
-
-  double logp = 0.0;       // log π_old(a|s) at sampling time
-  // Number of elementary decisions behind `logp` (groups placed, plus the
-  // grouper's weighted contribution). PPO normalizes its importance
-  // log-ratio by this so the clip region stays meaningful for joint
-  // policies over hundreds of categoricals.
-  int num_decisions = 1;
-  // Global sample index, doubling as the child-RNG stream number: the
-  // trainer evaluates sample i with rng.Split(eval_stream) so measurement
-  // noise is identical whether the minibatch runs serially or on a
-  // thread pool (core::EvalService).
-  std::uint64_t eval_stream = 0;
-  bool valid = false;      // environment verdict (false == OOM)
-  double per_step_seconds = 0.0;  // measured (noisy) per-step time
-  double reward = 0.0;
-  double advantage = 0.0;
-};
-
-// Agents expose this interface to the training algorithms: sampling builds
-// a decision under current parameters; scoring rebuilds the log-prob (and
-// entropy) of a *stored* decision under current parameters on a fresh tape
-// so that REINFORCE/PPO/CE losses can be backpropagated.
-class PolicyAgent {
- public:
-  virtual ~PolicyAgent() = default;
-
-  virtual Sample SampleDecision(support::Rng& rng) = 0;
-
-  struct Score {
-    nn::Var logp;     // 1×1
-    nn::Var entropy;  // 1×1 (mean policy entropy, for the bonus term)
-  };
-  virtual Score ScoreDecision(nn::Tape& tape, const Sample& sample) = 0;
-
-  // Expands a sample's actions into a normalized op-level placement.
-  virtual sim::Placement ToPlacement(const Sample& sample) const = 0;
-
-  virtual nn::ParamStore& params() = 0;
-  virtual const char* name() const = 0;
-};
+using Sample = core::Sample;
+using PolicyAgent = core::PolicyAgent;
 
 }  // namespace eagle::rl

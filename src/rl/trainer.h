@@ -34,36 +34,11 @@
 
 namespace eagle::rl {
 
-// Environment abstraction implemented by core::PlacementEnvironment.
-class Environment {
- public:
-  virtual ~Environment() = default;
-  // Evaluates a normalized placement; rng drives measurement noise.
-  virtual sim::EvalResult Evaluate(const sim::Placement& placement,
-                                   support::Rng* rng) = 0;
-  // Penalty per-step time charged to invalid placements.
-  virtual double InvalidPenaltySeconds() const = 0;
-  // Mutable environment state (fault stream, counters) captured into /
-  // restored from training checkpoints so a resumed run replays
-  // bit-compatibly. Stateless environments can keep the no-op default.
-  virtual void SerializeState(std::ostream& out) const { (void)out; }
-  virtual void DeserializeState(std::istream& in) { (void)in; }
-};
-
-// Batch evaluation abstraction implemented by core::EvalService: the
-// trainer hands over a full round of placements plus one private RNG per
-// sample and gets results back in submission order. Implementations must
-// be bit-identical to evaluating the placements one by one with
-// Environment::Evaluate — thread count may change wall-clock time only.
-class BatchEvaluator {
- public:
-  virtual ~BatchEvaluator() = default;
-  // Evaluates placements[i] with rngs[i]; returns one result per
-  // placement, in the same order.
-  virtual std::vector<sim::EvalResult> EvaluateBatch(
-      const std::vector<sim::Placement>& placements,
-      std::vector<support::Rng>& rngs) = 0;
-};
+// The Environment and BatchEvaluator abstractions live in core/policy.h
+// (implemented by core::PlacementEnvironment / core::EvalService); the
+// trainer consumes them through these re-exported names.
+using Environment = core::Environment;
+using BatchEvaluator = core::BatchEvaluator;
 
 enum class Algorithm { kReinforce, kPpo, kPpoCe };
 

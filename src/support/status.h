@@ -40,7 +40,11 @@ const char* ErrorCodeName(ErrorCode code);
 // Parses ErrorCodeName output; returns false on unknown names.
 bool ErrorCodeFromName(const std::string& name, ErrorCode* out);
 
-class Status {
+// [[nodiscard]]: a dropped Status is a swallowed error. The compiler
+// warns at every discarding call site, and eagle-lint ST01 makes it an
+// error; discard deliberately with (void) plus an adjacent
+// `eagle-lint: allow(ST01)` justification.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // ok
 
@@ -85,8 +89,10 @@ class Status {
 
 // Either a T or the Status explaining why there is no T. Deliberately
 // minimal: exactly what the ingestion API needs, nothing speculative.
+// [[nodiscard]] for the same reason as Status: dropping one silently
+// drops both the value and the error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Implicit from an error Status so parsers can `return status;`.
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT

@@ -1,0 +1,11 @@
+// ST01 cross-file fixture: the header declaring a Status-returning API.
+// Call sites live in discarded_status_use.cpp; the rule needs both files
+// to know Check() unambiguously returns Status by value.
+#pragma once
+
+namespace fixture {
+struct Status {
+  bool ok() const { return true; }
+};
+Status Check(int value);
+}  // namespace fixture

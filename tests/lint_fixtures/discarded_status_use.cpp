@@ -1,0 +1,24 @@
+// ST01 positive fixture: call sites of fixture::Check, declared in
+// discarded_status_api.h as returning Status by value.
+#include "graph/api.h"
+
+namespace fixture {
+
+void Caller() {
+  Check(1);
+  Status kept = Check(2);
+  if (kept.ok()) {
+    Check(3);
+  }
+}
+
+void Voided() {
+  (void)Check(4);
+}
+
+void Justified() {
+  // probe only; failure cannot matter here  eagle-lint: allow(ST01)
+  (void)Check(5);
+}
+
+}  // namespace fixture

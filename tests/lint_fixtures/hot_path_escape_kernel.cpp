@@ -1,0 +1,20 @@
+// HP02 positive fixture: a hot-path kernel file whose call graph
+// escapes to an allocating helper in another file, plus a direct
+// make_unique — which textual HP01 cannot see.
+#include <memory>
+
+#include "graph/alloc_helper.h"
+
+namespace fixture {
+
+inline void Step(float* out, int n) {
+  int* scratch = GrabBuffer(n);
+  out[0] = static_cast<float>(scratch[0] + n);
+}
+
+inline void Direct() {
+  auto owned = std::make_unique<int>(7);
+  *owned = 1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// HP02 suppression fixture: the same escapes as
+// hot_path_escape_kernel.cpp, each waived with a justification.
+#include <memory>
+
+#include "graph/alloc_helper.h"
+
+namespace fixture {
+
+// builds the lookup table once at session setup  eagle-lint: allow(HP02)
+inline void Step(float* out, int n) {
+  int* scratch = GrabBuffer(n);
+  out[0] = static_cast<float>(scratch[0] + n);
+}
+
+inline void Direct() {
+  // one-time init scratch  eagle-lint: allow(HP02)
+  auto owned = std::make_unique<int>(7);
+  *owned = 1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// LY01 cross-file fixture: the sim-layer header that layering_low.h
+// illegally reaches up into. Legal on its own.
+#pragma once
+
+namespace fixture {
+inline int EngineStep() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// LY01 positive fixture: a support-layer header including a sim-layer
+// header — a back-edge in the layer DAG.
+#pragma once
+
+#include "sim/engine.h"
+
+namespace fixture {
+inline int LowStep() { return EngineStep(); }
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Lexer regression fixture: every literal below contains text that
+// would trip ND01/CC01 if the lexer leaked raw-string contents as real
+// tokens or mis-consumed digit separators. LintSource must come back
+// clean on this file under a scoped path like src/rl/.
+namespace fixture {
+inline const char* a = R"(std::mutex guard; rand();)";
+inline const char* b = u8R"(time(nullptr))";
+inline const char* c = LR"sep(std::thread worker;)sep";
+inline const char* d = uR"(srand(42))";
+inline const char* e = UR"(std::atomic<int> hits;)";
+inline int big = 1'000'000;
+inline int mask = 0xFF'00;
+inline double rate = 1.5e-9;
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// LK01 cross-file fixture (1/2): acquires io, then net while io is
+// still held. Legal on its own; the opposite order in
+// lock_order_second.cpp makes the pair a deadlock.
+#include <mutex>
+
+namespace fixture {
+
+struct Pools {
+  std::mutex io;
+  std::mutex net;
+};
+
+inline void First(Pools& pools) {
+  std::lock_guard<std::mutex> hold_io(pools.io);
+  std::lock_guard<std::mutex> hold_net(pools.net);
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// LK01 cross-file fixture (2/2): the inverted acquisition order.
+#include <mutex>
+
+namespace fixture {
+
+struct Pools {
+  std::mutex io;
+  std::mutex net;
+};
+
+inline void Second(Pools& pools) {
+  std::lock_guard<std::mutex> hold_net(pools.net);
+  std::lock_guard<std::mutex> hold_io(pools.io);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// LK01 suppression fixture: the inverted order from
+// lock_order_second.cpp, waived with an inline justification.
+#include <mutex>
+
+namespace fixture {
+
+struct Pools {
+  std::mutex io;
+  std::mutex net;
+};
+
+inline void Second(Pools& pools) {
+  std::lock_guard<std::mutex> hold_net(pools.net);
+  // shutdown path; io is never contended here  eagle-lint: allow(LK01)
+  std::lock_guard<std::mutex> hold_io(pools.io);
+}
+
+}  // namespace fixture

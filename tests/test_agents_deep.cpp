@@ -10,6 +10,7 @@
 #include "core/post_agent.h"
 #include "models/synthetic.h"
 #include "partition/metis_like.h"
+#include "rl/trainer.h"
 
 namespace eagle::core {
 namespace {

@@ -16,6 +16,7 @@
 #include "models/synthetic.h"
 #include "models/zoo.h"
 #include "partition/metis_like.h"
+#include "rl/episode.h"
 
 namespace eagle::core {
 namespace {

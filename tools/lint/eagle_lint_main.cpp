@@ -1,10 +1,26 @@
 // eagle-lint CLI.
 //
-//   eagle-lint --root=<repo>     lint the whole tree (src bench tools
-//                                tests examples); exit 1 on any finding
-//   eagle-lint <file>...         lint specific files (paths are used
-//                                as-is for rule scoping)
-//   eagle-lint --list-rules      print the rule catalogue
+//   eagle-lint --root=<repo>      lint the whole tree (src bench tools
+//                                 tests examples) with both phases:
+//                                 per-file rules + cross-file rules
+//                                 (LY01/ST01/LK01/HP02); exit 1 on any
+//                                 finding
+//   eagle-lint <file>...          lint specific files with the per-file
+//                                 rules (cross-file rules need the whole
+//                                 tree; paths are used as-is for scoping)
+//   eagle-lint --format=json      machine-readable report (schema below)
+//   eagle-lint --list-rules       print the rule catalogue
+//
+// JSON schema (stable — CI annotation depends on it):
+//   {
+//     "findings": [
+//       {"rule": "LY01", "path": "src/...", "line": 7, "column": 1,
+//        "message": "..."},
+//       ...
+//     ],
+//     "suppressed": <count of findings waived by allow(...) comments>,
+//     "files_scanned": <count>
+//   }
 //
 // Registered as the `lint_repo` ctest so the tree must stay lint-clean.
 #include <cstdio>
@@ -34,20 +50,63 @@ int ListRules() {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: eagle-lint [--root=DIR | FILE...] [--list-rules]\n");
+               "usage: eagle-lint [--root=DIR | FILE...] [--format=json] "
+               "[--list-rules]\n");
   return 2;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void PrintJson(const std::vector<eagle::lint::Diagnostic>& diagnostics,
+               int suppressed, int scanned) {
+  std::printf("{\n  \"findings\": [");
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const auto& d = diagnostics[i];
+    std::printf("%s\n    {\"rule\": \"%s\", \"path\": \"%s\", \"line\": %d, "
+                "\"column\": %d, \"message\": \"%s\"}",
+                i == 0 ? "" : ",", JsonEscape(d.rule).c_str(),
+                JsonEscape(d.file).c_str(), d.line, d.col,
+                JsonEscape(d.message).c_str());
+  }
+  std::printf("%s],\n", diagnostics.empty() ? "" : "\n  ");
+  std::printf("  \"suppressed\": %d,\n", suppressed);
+  std::printf("  \"files_scanned\": %d\n}\n", scanned);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root;
+  bool json = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") return ListRules();
     if (arg == "--help" || arg == "-h") return Usage();
-    if (arg.rfind("--root=", 0) == 0) {
+    if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (arg.rfind("--root=", 0) == 0) {
       root = arg.substr(7);
     } else if (arg.rfind("--", 0) == 0) {
       return Usage();
@@ -59,10 +118,12 @@ int main(int argc, char** argv) {
 
   std::vector<eagle::lint::Diagnostic> diagnostics;
   int scanned = 0;
+  int suppressed = 0;
   if (!root.empty()) {
     const auto result = eagle::lint::LintTree(root);
     diagnostics = result.diagnostics;
     scanned = result.files_scanned;
+    suppressed = result.suppressed;
     if (scanned == 0) {
       std::fprintf(stderr, "eagle-lint: no sources found under %s\n",
                    root.c_str());
@@ -82,10 +143,14 @@ int main(int argc, char** argv) {
     ++scanned;
   }
 
-  for (const auto& d : diagnostics) {
-    std::printf("%s\n", eagle::lint::FormatDiagnostic(d).c_str());
+  if (json) {
+    PrintJson(diagnostics, suppressed, scanned);
+  } else {
+    for (const auto& d : diagnostics) {
+      std::printf("%s\n", eagle::lint::FormatDiagnostic(d).c_str());
+    }
+    std::printf("eagle-lint: %zu finding(s) in %d file(s)\n",
+                diagnostics.size(), scanned);
   }
-  std::printf("eagle-lint: %zu finding(s) in %d file(s)\n",
-              diagnostics.size(), scanned);
   return diagnostics.empty() ? 0 : 1;
 }

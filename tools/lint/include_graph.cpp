@@ -1,0 +1,172 @@
+#include "include_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace eagle::lint {
+
+namespace {
+
+struct Layer {
+  const char* dir;
+  int rank;
+};
+
+// The DAG as data. partition sits between graph and nn: it consumes the
+// op graph and produces groupings the nn policy embeds.
+const Layer kLayers[] = {
+    {"support", 0}, {"graph", 1}, {"partition", 2}, {"nn", 3},
+    {"sim", 4},     {"models", 5}, {"core", 6},      {"rl", 7},
+};
+
+std::string LayerName(int rank) {
+  for (const Layer& layer : kLayers) {
+    if (layer.rank == rank) return layer.dir;
+  }
+  return "?";
+}
+
+std::string ChainSpelling() {
+  std::string out;
+  for (const std::string& name : LayerChain()) {
+    if (!out.empty()) out += " → ";
+    out += name;
+  }
+  return out;
+}
+
+// Depth-first cycle finder over the resolved include graph. Reports each
+// cycle once (canonicalized by its sorted member set).
+class CycleFinder {
+ public:
+  CycleFinder(const std::map<std::string, std::vector<IncludeSite>>& edges,
+              const Index& index, std::vector<Diagnostic>* out)
+      : edges_(edges), index_(index), out_(out) {}
+
+  void Run() {
+    for (const auto& [file, unused] : edges_) Visit(file);
+  }
+
+ private:
+  void Visit(const std::string& file) {
+    if (done_.count(file) > 0) return;
+    if (on_stack_.count(file) > 0) {
+      Report(file);
+      return;
+    }
+    on_stack_.insert(file);
+    stack_.push_back(file);
+    const auto it = edges_.find(file);
+    if (it != edges_.end()) {
+      for (const IncludeSite& inc : it->second) {
+        if (inc.resolved) Visit(inc.target);
+      }
+    }
+    stack_.pop_back();
+    on_stack_.erase(file);
+    done_.insert(file);
+  }
+
+  void Report(const std::string& back_to) {
+    // The cycle is the stack suffix starting at `back_to`.
+    auto begin = std::find(stack_.begin(), stack_.end(), back_to);
+    if (begin == stack_.end()) return;
+    std::vector<std::string> members(begin, stack_.end());
+    std::vector<std::string> key = members;
+    std::sort(key.begin(), key.end());
+    if (!reported_.insert(key).second) return;
+
+    std::string chain;
+    for (const std::string& member : members) chain += member + " → ";
+    chain += back_to;
+    int line = 1;
+    const std::string& next = members.size() > 1 ? members[1] : back_to;
+    if (const FileIndex* fi = index_.Find(back_to)) {
+      for (const IncludeSite& inc : fi->includes) {
+        if (inc.resolved && inc.target == next) {
+          line = inc.line;
+          break;
+        }
+      }
+    }
+    out_->push_back(Diagnostic{
+        "LY01", back_to, line,
+        "include cycle: " + chain +
+            " — break the cycle by moving the shared declarations into "
+            "the lower layer",
+        1});
+  }
+
+  const std::map<std::string, std::vector<IncludeSite>>& edges_;
+  const Index& index_;
+  std::vector<Diagnostic>* out_;
+  std::set<std::string> on_stack_;
+  std::set<std::string> done_;
+  std::vector<std::string> stack_;
+  std::set<std::vector<std::string>> reported_;
+};
+
+}  // namespace
+
+int LayerRank(const std::string& path) {
+  if (path.compare(0, 4, "src/") != 0) return -1;
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return -2;  // loose file directly in src/
+  const std::string dir = path.substr(4, slash - 4);
+  for (const Layer& layer : kLayers) {
+    if (dir == layer.dir) return layer.rank;
+  }
+  return -2;
+}
+
+const std::vector<std::string>& LayerChain() {
+  static const std::vector<std::string> chain = [] {
+    std::vector<std::string> names;
+    for (const Layer& layer : kLayers) names.push_back(layer.dir);
+    return names;
+  }();
+  return chain;
+}
+
+std::vector<Diagnostic> CheckLayering(const Index& index) {
+  std::vector<Diagnostic> out;
+  std::map<std::string, std::vector<IncludeSite>> edges;
+  for (const FileIndex& file : index.files()) {
+    edges[file.path] = file.includes;
+
+    const int from_rank = LayerRank(file.path);
+    if (from_rank == -2) {
+      out.push_back(Diagnostic{
+          "LY01", file.path, 1,
+          "file is under src/ but in no registered layer — the layer "
+          "chain is " + ChainSpelling() +
+              "; register new layers in tools/lint/include_graph.cpp and "
+              "docs/STATIC_ANALYSIS.md",
+          1});
+      continue;
+    }
+    if (from_rank < 0) continue;  // tools/tests/bench may include anything
+
+    for (const IncludeSite& inc : file.includes) {
+      if (!inc.resolved) continue;
+      const int to_rank = LayerRank(inc.target);
+      if (to_rank < 0) continue;
+      if (to_rank > from_rank) {
+        out.push_back(Diagnostic{
+            "LY01", file.path, inc.line,
+            "layering violation: " + file.path + " (layer " +
+                LayerName(from_rank) + ") includes " + inc.target +
+                " (layer " + LayerName(to_rank) + ") — the layer DAG is " +
+                ChainSpelling() +
+                " and higher layers may depend on lower ones, never the "
+                "reverse",
+            1});
+      }
+    }
+  }
+  CycleFinder(edges, index, &out).Run();
+  return out;
+}
+
+}  // namespace eagle::lint

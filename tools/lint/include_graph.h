@@ -1,0 +1,40 @@
+// LY01: the layer DAG, enforced from real include resolution.
+//
+// The repo is layered
+//
+//   support → graph → partition → nn → sim → models → core → rl
+//
+// (left is lowest; an arrow means "may be depended on by"). A file in
+// layer L may include files in L or any layer to its left, never to its
+// right — src/support quietly including src/sim is exactly the drift
+// this rule exists to catch. Layering is checked on every direct
+// resolved include edge; because the layers form a total order, checking
+// direct edges is automatically transitively closed (a legal chain can
+// never reach a higher layer). Include cycles — which a total order
+// cannot express — are detected separately and diagnosed with the full
+// edge chain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "index.h"
+#include "linter.h"
+
+namespace eagle::lint {
+
+// Rank of the layer owning `path` (0 = support … 7 = rl), or -1 when the
+// path is not under src/ (tools/tests/bench are free to include
+// anything), or -2 when it is under src/ but in no known layer directory
+// (LY01 flags that too: new layers must be registered here and in docs).
+int LayerRank(const std::string& path);
+
+// The layer chain, lowest first (for diagnostics and --list-rules).
+const std::vector<std::string>& LayerChain();
+
+// Runs LY01 over the index: back-edge detection on every resolved
+// include edge between src/ files, unknown-layer detection, and include
+// cycle detection across the whole indexed tree.
+std::vector<Diagnostic> CheckLayering(const Index& index);
+
+}  // namespace eagle::lint

@@ -1,0 +1,135 @@
+// Phase 1 of eagle-lint v2: the translation-unit index.
+//
+// The v1 linter saw one file at a time, so every rule had to be decidable
+// from a single token stream. The cross-file rules (LY01 layering, ST01
+// discarded Status, LK01 lock order, HP02 flow-aware hot-path allocation)
+// need whole-program facts instead: which file includes which, which
+// functions exist and what they return, who calls whom, and where locks
+// are taken. The Index is that fact base — phase 2 (include_graph.cpp,
+// callgraph.cpp) runs rules over it without ever re-reading source.
+//
+// Extraction is token-level and heuristic by design (no real C++ front
+// end; see lexer.h). Function extents come from brace matching at
+// namespace/class scope, call sites from `ident (` inside a body, and
+// name resolution is by terminal identifier. The rules downstream
+// compensate: ambiguous names (two functions named `Validate` with
+// different return types) are skipped rather than guessed, so the
+// heuristics only ever under-report.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace eagle::lint {
+
+// One resolved `#include "..."` directive. `target` is the repo-relative
+// path of the included file when it resolves to an indexed file;
+// unresolved includes (system headers, generated files) keep the raw
+// spelling and resolved == false.
+struct IncludeSite {
+  std::string target;
+  bool resolved = false;
+  int line = 1;
+};
+
+// A call site inside a function body: `name` is the terminal identifier
+// before the '(' (qualifiers and receivers stripped).
+struct CallSite {
+  std::string name;
+  int line = 1;
+  int col = 1;
+};
+
+// One lock-acquisition site: a lock_guard / unique_lock / scoped_lock /
+// shared_lock declaration. `mutexes` holds the normalized identity of
+// each mutex argument (see NormalizeMutexArg in index.cpp); a multi-mutex
+// std::scoped_lock acquires atomically with deadlock avoidance, so
+// `ordered` is false and the site imposes no internal ordering.
+struct LockSite {
+  std::vector<std::string> mutexes;
+  // Mutexes still held (acquired in an enclosing or earlier-same scope
+  // that has not closed) when this site executes. LK01's ordering edges
+  // come straight from held × acquired. A manual unique_lock::unlock()
+  // is not modelled, so `held` over-approximates — by design: the fix
+  // for a flagged pair is a consistent global order, which also makes
+  // the over-approximation vacuous.
+  std::vector<std::string> held;
+  bool ordered = true;
+  int line = 1;
+  int col = 1;
+  int depth = 0;       // brace depth inside the function at the site
+  std::size_t seq = 0; // position in the function's lock sequence
+};
+
+// A function definition (or bodyless declaration) found in a file.
+struct FunctionInfo {
+  std::string name;       // terminal name: "Run"
+  std::string qualified;  // as written: "ExecutionSimulator::Run"
+  std::string file;       // repo-relative path
+  int line = 1;
+  int col = 1;
+  bool has_body = false;
+  bool returns_status = false;  // return type is Status/StatusOr by value
+  // Direct allocation inside the body (new / malloc family /
+  // make_unique / make_shared), regardless of path allowlists — HP02
+  // applies the allowlist, the index just records the fact.
+  bool allocates = false;
+  int alloc_line = 0;
+  std::string alloc_what;
+  std::vector<CallSite> calls;   // only for definitions
+  std::vector<LockSite> locks;   // only for definitions
+};
+
+// Everything phase 1 knows about one file.
+struct FileIndex {
+  std::string path;  // repo-relative, forward slashes
+  LexedFile lexed;
+  std::vector<IncludeSite> includes;
+  std::vector<FunctionInfo> functions;
+  // class name -> mutex-typed data members declared directly in its body
+  // (std::mutex / shared_mutex / recursive_mutex).
+  std::map<std::string, std::set<std::string>> mutex_members;
+  // line -> rule ids waived on that line (from eagle-lint: allow(...)).
+  std::map<int, std::set<std::string>> suppressions;
+};
+
+class Index {
+ public:
+  // Adds one file. Include resolution and cross-file aggregates are
+  // computed lazily by Finalize(), which the accessors below call.
+  void AddFile(const std::string& rel_path, const std::string& source);
+
+  const std::vector<FileIndex>& files() const;
+  const FileIndex* Find(const std::string& path) const;
+
+  // Function names that *unambiguously* return Status/StatusOr by value:
+  // every indexed declaration or definition with that name agrees. Names
+  // with conflicting signatures (e.g. a void RetryPolicy::Validate next
+  // to a Status ClusterSpec::Validate) are excluded so ST01 never
+  // guesses.
+  const std::set<std::string>& status_only_functions() const;
+
+  // All definitions with the given terminal name (callgraph resolution).
+  std::vector<const FunctionInfo*> Definitions(const std::string& name) const;
+
+ private:
+  void Finalize() const;
+
+  // mutable: Finalize() (const, lazy) patches include resolution in place.
+  mutable std::vector<FileIndex> files_;
+  mutable bool finalized_ = false;
+  mutable std::set<std::string> status_only_;
+  mutable std::map<std::string, std::vector<const FunctionInfo*>> defs_;
+};
+
+// Shared helper: extracts `// eagle-lint: allow(RULE)` suppressions from
+// a comment stream. A suppression covers the comment's own line(s) and
+// the following line.
+std::map<int, std::set<std::string>> CollectSuppressions(
+    const std::vector<Comment>& comments);
+
+}  // namespace eagle::lint

@@ -22,6 +22,14 @@ const char* const kOperators[] = {
     "%=",  "&=",  "|=",  "^=",
 };
 
+// Encoding prefixes that can precede a raw string literal. A plain
+// identifier ending in R ("FOOR") followed by a quote is macro-adjacent
+// string concatenation, not a raw string, so the whole prefix must match.
+bool IsRawStringPrefix(const std::string& ident) {
+  return ident == "R" || ident == "uR" || ident == "u8R" || ident == "UR" ||
+         ident == "LR";
+}
+
 class Lexer {
  public:
   explicit Lexer(const std::string& source) : src_(source) {}
@@ -30,7 +38,7 @@ class Lexer {
     while (pos_ < src_.size()) {
       const char c = src_[pos_];
       if (c == '\n') {
-        ++line_;
+        NewLine();
         ++pos_;
         at_line_start_ = true;
         continue;
@@ -79,8 +87,19 @@ class Lexer {
     return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
   }
 
-  void Emit(TokKind kind, std::string text, int line) {
-    out_.tokens.push_back(Token{kind, std::move(text), line});
+  // The column of the character at `pos` on the current line (1-based).
+  int ColAt(std::size_t pos) const {
+    return static_cast<int>(pos - line_begin_) + 1;
+  }
+
+  // Call with pos_ still on the '\n'.
+  void NewLine() {
+    ++line_;
+    line_begin_ = pos_ + 1;
+  }
+
+  void Emit(TokKind kind, std::string text, int line, int col) {
+    out_.tokens.push_back(Token{kind, std::move(text), line, col});
   }
 
   void LexLineComment() {
@@ -100,22 +119,27 @@ class Lexer {
         pos_ += 2;
         break;
       }
-      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == '\n') NewLine();
       text += src_[pos_++];
     }
     out_.comments.push_back(Comment{start_line, line_, std::move(text)});
   }
 
   // One directive, backslash continuations joined; trailing // comment on
-  // the directive line is recorded so suppressions work there too.
+  // the directive line is recorded so suppressions work there too. Raw
+  // strings inside the directive (`#define SCHEMA R"({"a"://})"`) are
+  // consumed verbatim so a // or /* inside one never truncates the
+  // directive.
   void LexPpDirective() {
     const int start_line = line_;
+    const int start_col = ColAt(pos_);
     std::string text;
     while (pos_ < src_.size()) {
       const char c = src_[pos_];
       if (c == '\\' && Peek(1) == '\n') {
         pos_ += 2;
-        ++line_;
+        NewLine();
+        line_begin_ = pos_;  // continuation: next char starts the line
         text += ' ';
         continue;
       }
@@ -129,51 +153,122 @@ class Lexer {
         text += ' ';
         continue;
       }
+      if (c == '"' || (IsIdentStart(c) && LooksLikeRawStringAt(pos_))) {
+        // Copy the whole string literal (raw or plain) into the directive
+        // text so its contents can't be mistaken for directive structure.
+        const std::size_t begin = pos_;
+        if (c == '"') {
+          SkipPlainStringLiteral();
+        } else {
+          while (pos_ < src_.size() && IsIdentChar(src_[pos_])) ++pos_;
+          SkipRawStringLiteral();
+        }
+        text.append(src_, begin, pos_ - begin);
+        continue;
+      }
       text += c;
       ++pos_;
     }
-    Emit(TokKind::kPp, std::move(text), start_line);
+    Emit(TokKind::kPp, std::move(text), start_line, start_col);
+  }
+
+  // True when the identifier starting at `at` is a raw-string prefix
+  // immediately followed by a double quote.
+  bool LooksLikeRawStringAt(std::size_t at) const {
+    std::string ident;
+    while (at < src_.size() && IsIdentChar(src_[at])) ident += src_[at++];
+    return at < src_.size() && src_[at] == '"' && IsRawStringPrefix(ident);
   }
 
   void LexIdentifierOrLiteralPrefix() {
-    // Raw string literal: R"delim( ... )delim"
-    if (src_[pos_] == 'R' && Peek(1) == '"') {
-      LexRawString();
-      return;
-    }
     const int start_line = line_;
+    const int start_col = ColAt(pos_);
     std::string text;
     while (pos_ < src_.size() && IsIdentChar(src_[pos_])) text += src_[pos_++];
-    Emit(TokKind::kIdentifier, std::move(text), start_line);
+    // Raw string literal with any encoding prefix: R"…", uR"…", u8R"…",
+    // UR"…", LR"…". Without this, `u8R"(std::mutex)"` lexed as the
+    // identifier `u8R` plus a plain string, leaking the raw contents as
+    // real tokens (the PR-8 lexer regression fixtures pin this down).
+    if (pos_ < src_.size() && src_[pos_] == '"' && IsRawStringPrefix(text)) {
+      LexRawString(start_line, start_col);
+      return;
+    }
+    // Encoded plain string / char literal (u8"…", L'…'): emit the prefix
+    // as an identifier and let the literal lex normally next iteration —
+    // its contents are still confined to a single literal token.
+    Emit(TokKind::kIdentifier, std::move(text), start_line, start_col);
   }
 
-  void LexRawString() {
-    const int start_line = line_;
-    pos_ += 2;  // R"
+  // pos_ is on the opening quote; the prefix (if any) has been consumed.
+  void LexRawString(int start_line, int start_col) {
+    ++pos_;  // "
     std::string delim;
-    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
-    if (pos_ < src_.size()) ++pos_;  // (
+    while (pos_ < src_.size() && src_[pos_] != '(' && src_[pos_] != '\n') {
+      delim += src_[pos_++];
+    }
+    if (pos_ < src_.size() && src_[pos_] == '(') ++pos_;
     const std::string closer = ")" + delim + "\"";
     std::string text;
     while (pos_ < src_.size() &&
            src_.compare(pos_, closer.size(), closer) != 0) {
-      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == '\n') NewLine();
       text += src_[pos_++];
     }
     pos_ += closer.size();
     if (pos_ > src_.size()) pos_ = src_.size();
-    Emit(TokKind::kString, std::move(text), start_line);
+    Emit(TokKind::kString, std::move(text), start_line, start_col);
+  }
+
+  // Skips a complete raw string starting at the opening quote (used by
+  // the pp-directive scan, which keeps the source text verbatim).
+  void SkipRawStringLiteral() {
+    if (pos_ >= src_.size() || src_[pos_] != '"') return;
+    ++pos_;
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(' && src_[pos_] != '\n') {
+      delim += src_[pos_++];
+    }
+    if (pos_ < src_.size() && src_[pos_] == '(') ++pos_;
+    const std::string closer = ")" + delim + "\"";
+    while (pos_ < src_.size() &&
+           src_.compare(pos_, closer.size(), closer) != 0) {
+      if (src_[pos_] == '\n') NewLine();
+      ++pos_;
+    }
+    pos_ += closer.size();
+    if (pos_ > src_.size()) pos_ = src_.size();
+  }
+
+  // Skips a plain "..." literal starting at the opening quote.
+  void SkipPlainStringLiteral() {
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '"' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
   }
 
   void LexNumber() {
     const int start_line = line_;
+    const int start_col = ColAt(pos_);
     std::string text;
     // Loose scan: digits, hex/bin prefixes, digit separators, exponents.
     // (No rule inspects numeric values, so precision doesn't matter —
-    // the scan just has to not split "1.5e-9" into pieces.)
+    // the scan just has to not split "1.5e-9" or "1'000'000" into
+    // pieces.) A separator is consumed only when a digit or literal
+    // letter follows, exactly as the grammar requires: a trailing
+    // apostrophe after a number starts a char literal instead of being
+    // swallowed, so the tokens after it keep their real kinds.
     while (pos_ < src_.size()) {
       const char c = src_[pos_];
-      if (IsIdentChar(c) || c == '.' || c == '\'') {
+      if (c == '\'') {
+        if (!std::isalnum(static_cast<unsigned char>(Peek(1)))) break;
+        text += c;
+        ++pos_;
+        continue;
+      }
+      if (IsIdentChar(c) || c == '.') {
         text += c;
         ++pos_;
         if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
@@ -184,11 +279,12 @@ class Lexer {
       }
       break;
     }
-    Emit(TokKind::kNumber, std::move(text), start_line);
+    Emit(TokKind::kNumber, std::move(text), start_line, start_col);
   }
 
   void LexString() {
     const int start_line = line_;
+    const int start_col = ColAt(pos_);
     ++pos_;  // opening quote
     std::string text;
     while (pos_ < src_.size() && src_[pos_] != '"') {
@@ -198,15 +294,16 @@ class Lexer {
         pos_ += 2;
         continue;
       }
-      if (src_[pos_] == '\n') ++line_;  // unterminated; keep going
+      if (src_[pos_] == '\n') NewLine();  // unterminated; keep going
       text += src_[pos_++];
     }
     if (pos_ < src_.size()) ++pos_;  // closing quote
-    Emit(TokKind::kString, std::move(text), start_line);
+    Emit(TokKind::kString, std::move(text), start_line, start_col);
   }
 
   void LexChar() {
     const int start_line = line_;
+    const int start_col = ColAt(pos_);
     ++pos_;  // opening quote
     std::string text;
     while (pos_ < src_.size() && src_[pos_] != '\'') {
@@ -220,25 +317,26 @@ class Lexer {
       text += src_[pos_++];
     }
     if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
-    Emit(TokKind::kChar, std::move(text), start_line);
+    Emit(TokKind::kChar, std::move(text), start_line, start_col);
   }
 
   void LexPunct() {
     for (const char* op : kOperators) {
       const std::size_t len = std::char_traits<char>::length(op);
       if (src_.compare(pos_, len, op) == 0) {
-        Emit(TokKind::kPunct, op, line_);
+        Emit(TokKind::kPunct, op, line_, ColAt(pos_));
         pos_ += len;
         return;
       }
     }
-    Emit(TokKind::kPunct, std::string(1, src_[pos_]), line_);
+    Emit(TokKind::kPunct, std::string(1, src_[pos_]), line_, ColAt(pos_));
     ++pos_;
   }
 
   const std::string& src_;
   std::size_t pos_ = 0;
   int line_ = 1;
+  std::size_t line_begin_ = 0;
   bool at_line_start_ = true;
   LexedFile out_;
 };

@@ -2,11 +2,19 @@
 //
 // Produces a flat token stream (comments stripped into a side channel,
 // preprocessor directives folded into single tokens) that the rule
-// engine in linter.cpp pattern-matches against. This is deliberately not
-// a full C++ front end: eagle-lint checks repo conventions (banned
-// identifiers, iteration over unordered containers, macro hygiene), all
-// of which are decidable at token level, and taking a real parser as a
-// dependency would violate the repo's no-external-deps rule.
+// engine in linter.cpp pattern-matches against and the cross-file index
+// in index.cpp builds function extents from. This is deliberately not a
+// full C++ front end: eagle-lint checks repo conventions (banned
+// identifiers, iteration over unordered containers, layering, lock
+// order), all of which are decidable at token level, and taking a real
+// parser as a dependency would violate the repo's no-external-deps rule.
+//
+// Literal handling matters more here than in a toy lexer: a raw string
+// holding `std::mutex` or `new` must never leak identifier tokens, or
+// every rule downstream misfires. The lexer therefore understands
+// encoding prefixes on raw strings (R, uR, u8R, UR, LR), custom raw
+// delimiters, digit separators (1'000'000, 0xFF'00), and raw strings
+// inside preprocessor directives.
 #pragma once
 
 #include <string>
@@ -16,8 +24,8 @@ namespace eagle::lint {
 
 enum class TokKind {
   kIdentifier,  // foo, std, unordered_map
-  kNumber,      // 42, 0x1p-3, 1.5e9
-  kString,      // "..." (text holds the unquoted contents)
+  kNumber,      // 42, 0x1p-3, 1.5e9, 1'000'000
+  kString,      // "..." / R"(...)" (text holds the unquoted contents)
   kChar,        // '...' (text holds the unquoted contents)
   kPunct,       // operators & punctuation, maximal munch ("::", "->", ...)
   kPp,          // one whole preprocessor directive, continuations joined
@@ -27,6 +35,7 @@ struct Token {
   TokKind kind;
   std::string text;
   int line = 1;  // 1-based line of the token's first character
+  int col = 1;   // 1-based column of the token's first character
 };
 
 struct Comment {

@@ -7,6 +7,8 @@
 #include <set>
 #include <sstream>
 
+#include "callgraph.h"
+#include "include_graph.h"
 #include "lexer.h"
 
 namespace eagle::lint {
@@ -93,6 +95,37 @@ std::vector<RuleInfo> MakeRules() {
       // src/ and examples/ must observe time only through spans.
       {"src/", "examples/"},
       {"src/support/"}});
+  // -------------------------------------------------------------------
+  // Cross-file rules (phase 2). Scope/allow columns document the
+  // contract; the implementations in include_graph.cpp / callgraph.cpp
+  // apply it themselves since their facts span files.
+  rules.push_back(RuleInfo{
+      "LY01", "error",
+      "layering violation: a src/ file includes a higher layer (the DAG "
+      "is support → graph → partition → nn → sim → models → core → rl), "
+      "or the include graph has a cycle",
+      {"src/"},
+      {}});
+  rules.push_back(RuleInfo{
+      "ST01", "error",
+      "discarded support::Status/StatusOr return value — check it, "
+      "propagate it, or (void)-cast it with an adjacent allow(ST01) "
+      "justification",
+      {},
+      {}});
+  rules.push_back(RuleInfo{
+      "LK01", "error",
+      "two functions acquire the same two mutexes in opposite orders — "
+      "deadlock under contention; derived from the global "
+      "lock-acquisition-order graph",
+      {},
+      {}});
+  rules.push_back(RuleInfo{
+      "HP02", "error",
+      "hot-path function whose call graph reaches an allocating function "
+      "outside the arena/workspace pools (flow-aware HP01)",
+      {"src/nn/", "src/sim/simulator.", "src/sim/delta."},
+      {"src/nn/arena.", "src/sim/sim_workspace."}});
   return rules;
 }
 
@@ -195,33 +228,8 @@ bool IsHeaderPath(const std::string& path) {
   return EndsWith(path, ".h") || EndsWith(path, ".hpp");
 }
 
-// ---------------------------------------------------------------------------
-// Suppressions: `// eagle-lint: allow(ND02)` covers the comment's own
-// line(s) and the following line. allow(all) waives every rule.
-
-std::map<int, std::set<std::string>> CollectSuppressions(
-    const std::vector<Comment>& comments) {
-  std::map<int, std::set<std::string>> allowed;
-  const std::string marker = "eagle-lint:";
-  for (const Comment& comment : comments) {
-    std::size_t at = comment.text.find(marker);
-    if (at == std::string::npos) continue;
-    std::size_t pos = at + marker.size();
-    while (true) {
-      const std::size_t open = comment.text.find("allow(", pos);
-      if (open == std::string::npos) break;
-      const std::size_t close = comment.text.find(')', open);
-      if (close == std::string::npos) break;
-      const std::string rule =
-          comment.text.substr(open + 6, close - open - 6);
-      for (int line = comment.line; line <= comment.end_line + 1; ++line) {
-        allowed[line].insert(rule);
-      }
-      pos = close + 1;
-    }
-  }
-  return allowed;
-}
+// (Suppression collection lives in index.cpp — CollectSuppressions in
+// index.h is shared by both phases.)
 
 // ---------------------------------------------------------------------------
 // Token-stream helpers.
@@ -615,6 +623,45 @@ void CheckPragmaOnce(const Tokens& toks, const std::string& path,
       "self-contained and include-once"});
 }
 
+// Dispatches every per-file (v1) rule that applies to `rel_path`.
+// Cross-file rule ids in the table (LY01/ST01/LK01/HP02) are skipped —
+// they run over the Index in Analyzer::Run.
+void RunPerFileRules(const LexedFile& lexed, const Tokens& companion,
+                     const std::string& rel_path,
+                     std::vector<Diagnostic>* raw) {
+  for (const RuleInfo& rule : Rules()) {
+    if (!RuleApplies(rule, rel_path)) continue;
+    if (rule.id == "ND01") {
+      CheckNondeterminism(lexed.tokens, rel_path, raw);
+    } else if (rule.id == "ND02") {
+      CheckUnorderedIteration(lexed.tokens, companion, rel_path, raw);
+    } else if (rule.id == "CC01") {
+      CheckConcurrency(lexed.tokens, rel_path, raw);
+    } else if (rule.id == "DC01") {
+      CheckDcheckSideEffects(lexed.tokens, rel_path, raw);
+    } else if (rule.id == "CP01") {
+      CheckCheckpointMagic(lexed.tokens, rel_path, raw);
+    } else if (rule.id == "HS01") {
+      CheckPragmaOnce(lexed.tokens, rel_path, raw);
+    } else if (rule.id == "WC01") {
+      CheckWallClock(lexed.tokens, rel_path, raw);
+    } else if (rule.id == "HP01") {
+      CheckHotPathAlloc(lexed.tokens, rel_path, raw);
+    } else if (rule.id == "IN01") {
+      CheckRawNumericParse(lexed.tokens, rel_path, raw);
+    }
+  }
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diags) {
+  std::stable_sort(diags->begin(), diags->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.col < b.col;
+                   });
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& Rules() {
@@ -630,28 +677,7 @@ std::vector<Diagnostic> LintSource(const std::string& rel_path,
   const auto suppressions = CollectSuppressions(lexed.comments);
 
   std::vector<Diagnostic> raw;
-  for (const RuleInfo& rule : Rules()) {
-    if (!RuleApplies(rule, rel_path)) continue;
-    if (rule.id == "ND01") {
-      CheckNondeterminism(lexed.tokens, rel_path, &raw);
-    } else if (rule.id == "ND02") {
-      CheckUnorderedIteration(lexed.tokens, companion.tokens, rel_path, &raw);
-    } else if (rule.id == "CC01") {
-      CheckConcurrency(lexed.tokens, rel_path, &raw);
-    } else if (rule.id == "DC01") {
-      CheckDcheckSideEffects(lexed.tokens, rel_path, &raw);
-    } else if (rule.id == "CP01") {
-      CheckCheckpointMagic(lexed.tokens, rel_path, &raw);
-    } else if (rule.id == "HS01") {
-      CheckPragmaOnce(lexed.tokens, rel_path, &raw);
-    } else if (rule.id == "WC01") {
-      CheckWallClock(lexed.tokens, rel_path, &raw);
-    } else if (rule.id == "HP01") {
-      CheckHotPathAlloc(lexed.tokens, rel_path, &raw);
-    } else if (rule.id == "IN01") {
-      CheckRawNumericParse(lexed.tokens, rel_path, &raw);
-    }
-  }
+  RunPerFileRules(lexed, companion.tokens, rel_path, &raw);
 
   std::vector<Diagnostic> kept;
   for (Diagnostic& d : raw) {
@@ -669,9 +695,59 @@ std::vector<Diagnostic> LintSource(const std::string& rel_path,
   return kept;
 }
 
+void Analyzer::AddFile(const std::string& rel_path,
+                       const std::string& source) {
+  index_.AddFile(rel_path, source);
+}
+
+TreeResult Analyzer::Run() const {
+  TreeResult result;
+  std::vector<Diagnostic> raw;
+
+  // Phase-2a: per-file rules over the already-lexed index. The companion
+  // header for X.cpp comes from the index itself.
+  static const Tokens kNoCompanion;
+  for (const FileIndex& file : index_.files()) {
+    const Tokens* companion = &kNoCompanion;
+    if (EndsWith(file.path, ".cpp") || EndsWith(file.path, ".cc")) {
+      const std::size_t dot = file.path.rfind('.');
+      const FileIndex* header = index_.Find(file.path.substr(0, dot) + ".h");
+      if (header != nullptr) companion = &header->lexed.tokens;
+    }
+    RunPerFileRules(file.lexed, *companion, file.path, &raw);
+    ++result.files_scanned;
+  }
+
+  // Phase-2b: cross-file rules over the whole index.
+  using CrossRule = std::vector<Diagnostic> (*)(const Index&);
+  static const CrossRule kCrossRules[] = {
+      &CheckLayering, &CheckDiscardedStatus, &CheckLockOrder,
+      &CheckHotPathEscape};
+  for (const CrossRule rule : kCrossRules) {
+    std::vector<Diagnostic> diags = rule(index_);
+    raw.insert(raw.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+
+  // Suppressions apply uniformly, whichever phase produced the finding.
+  for (Diagnostic& d : raw) {
+    const FileIndex* file = index_.Find(d.file);
+    if (file != nullptr) {
+      const auto it = file->suppressions.find(d.line);
+      if (it != file->suppressions.end() &&
+          (it->second.count(d.rule) > 0 || it->second.count("all") > 0)) {
+        ++result.suppressed;
+        continue;
+      }
+    }
+    result.diagnostics.push_back(std::move(d));
+  }
+  SortDiagnostics(&result.diagnostics);
+  return result;
+}
+
 TreeResult LintTree(const std::string& root) {
   namespace fs = std::filesystem;
-  TreeResult result;
   static const char* const kTopDirs[] = {"src", "bench", "tools", "tests",
                                          "examples"};
   std::vector<fs::path> files;
@@ -690,33 +766,17 @@ TreeResult LintTree(const std::string& root) {
   }
   std::sort(files.begin(), files.end());
 
+  Analyzer analyzer;
   const std::string root_prefix = (fs::path(root) / "").generic_string();
   for (const fs::path& file : files) {
     std::ifstream in(file);
     std::ostringstream content;
     content << in.rdbuf();
-
-    std::string companion;
-    if (file.extension() == ".cpp" || file.extension() == ".cc") {
-      fs::path header = file;
-      header.replace_extension(".h");
-      if (fs::exists(header)) {
-        std::ifstream hin(header);
-        std::ostringstream hcontent;
-        hcontent << hin.rdbuf();
-        companion = hcontent.str();
-      }
-    }
-
     std::string rel = file.generic_string();
     if (HasPrefix(rel, root_prefix)) rel = rel.substr(root_prefix.size());
-    auto diags = LintSource(rel, content.str(), companion);
-    result.diagnostics.insert(result.diagnostics.end(),
-                              std::make_move_iterator(diags.begin()),
-                              std::make_move_iterator(diags.end()));
-    ++result.files_scanned;
+    analyzer.AddFile(rel, content.str());
   }
-  return result;
+  return analyzer.Run();
 }
 
 std::string FormatDiagnostic(const Diagnostic& d) {

@@ -33,13 +33,29 @@
 //         saturate on hostile input; ingestion must classify failures
 //         through graph::ParseInt64 / graph::ParseDouble instead
 //
+// v2 adds cross-file rules that run over a whole-tree index (phase 1 in
+// index.{h,cpp}; phase 2 in include_graph.cpp / callgraph.cpp):
+//
+//   LY01  layering: enforce the layer DAG support → graph → partition →
+//         nn → sim → models → core → rl on resolved #include edges (no
+//         back-edges; include cycles diagnosed with the full chain)
+//   ST01  a discarded Status/StatusOr return value is an error (paired
+//         with [[nodiscard]] on both types in src/support/status.h)
+//   LK01  two functions acquiring the same two mutexes in opposite
+//         orders — built from the global lock-acquisition-order graph
+//   HP02  flow-aware HP01: a hot-path function whose *call graph*
+//         reaches an allocating function outside the arena/workspace
+//         allowlist, not just a textual new/malloc in the file
+//
 // Suppression: a `// eagle-lint: allow(ND02)` comment on the same line
-// (or the line above) waives that rule for that line. Rules, scopes and
-// allowlists are data — see Rules() in linter.cpp.
+// (or the line above) waives that rule for that line, in both phases.
+// Rules, scopes and allowlists are data — see Rules() in linter.cpp.
 #pragma once
 
 #include <string>
 #include <vector>
+
+#include "index.h"
 
 namespace eagle::lint {
 
@@ -48,6 +64,7 @@ struct Diagnostic {
   std::string file;     // repo-relative path, forward slashes
   int line = 1;
   std::string message;
+  int col = 1;  // last member: v1 call sites aggregate-initialize without it
 };
 
 struct RuleInfo {
@@ -61,10 +78,12 @@ struct RuleInfo {
 // The rule catalogue (static data; documented in docs/STATIC_ANALYSIS.md).
 const std::vector<RuleInfo>& Rules();
 
-// Lints one file. `rel_path` (repo-relative, forward slashes) drives rule
-// scoping and allowlists. `companion_header` may hold the source of the
-// matching X.h when linting X.cpp, so unordered-container members
-// declared in the header are tracked when the .cpp iterates them.
+// Lints one file with the per-file (v1) rules only. `rel_path`
+// (repo-relative, forward slashes) drives rule scoping and allowlists.
+// `companion_header` may hold the source of the matching X.h when
+// linting X.cpp, so unordered-container members declared in the header
+// are tracked when the .cpp iterates them. Cross-file rules need a whole
+// tree — use Analyzer (or LintTree) for those.
 std::vector<Diagnostic> LintSource(const std::string& rel_path,
                                    const std::string& source,
                                    const std::string& companion_header = "");
@@ -72,11 +91,26 @@ std::vector<Diagnostic> LintSource(const std::string& rel_path,
 struct TreeResult {
   std::vector<Diagnostic> diagnostics;
   int files_scanned = 0;
+  int suppressed = 0;  // findings waived by eagle-lint: allow(...) comments
 };
 
-// Walks src/ bench/ tools/ tests/ examples/ under `root` and lints every
-// C++ file. tests/lint_fixtures/ (seeded violations for the lint
-// self-tests) is excluded.
+// The two-phase analyzer. AddFile() indexes (phase 1); Run() executes
+// the per-file rules plus the cross-file rules over the accumulated
+// index (phase 2), applies suppressions, and returns diagnostics sorted
+// by (file, line, col). Fixture tests add in-memory files directly;
+// LintTree() is the filesystem front end.
+class Analyzer {
+ public:
+  void AddFile(const std::string& rel_path, const std::string& source);
+  TreeResult Run() const;
+
+ private:
+  Index index_;
+};
+
+// Walks src/ bench/ tools/ tests/ examples/ under `root` and runs both
+// phases over every C++ file. tests/lint_fixtures/ (seeded violations
+// for the lint self-tests) is excluded.
 TreeResult LintTree(const std::string& root);
 
 // "file:line: severity: [ID] message"
