@@ -57,6 +57,11 @@ struct BenchConfig {
   // Fault-injected measurement (sim::FaultProfileFromString syntax;
   // all-zero disables).
   sim::FaultProfile faults;
+  // Cluster topology every bench row runs against: a builtin name
+  // (default, 2node8, mixed) or a .ec/.json spec file resolved through
+  // sim::ResolveCluster. The raw flag value is kept for labelling.
+  std::string cluster_name;
+  sim::ClusterSpec cluster;
   // Crash-safe training checkpoints: when checkpoint_dir is set every
   // training run snapshots to <dir>/<model>_<agent>_<algorithm>.ckpt;
   // resume restores the snapshot and continues.
@@ -93,6 +98,10 @@ inline void AddCommonFlags(support::ArgParser& args, int default_samples) {
   args.AddString("faults", "",
                  "fault profile, e.g. 0.1 or crash=0.1,down=0.02,"
                  "straggler=0.2,slowdown=3,link=0.1,linkfactor=4,seed=9");
+  args.AddString("cluster", "",
+                 "cluster topology: default, 2node8, mixed, or a "
+                 ".ec/.json cluster-spec file; malformed specs exit 2 "
+                 "with a file:line:column diagnostic");
   args.AddString("checkpoint-dir", "",
                  "directory for crash-safe training checkpoints");
   args.AddBool("resume", false,
@@ -130,6 +139,8 @@ inline BenchConfig ReadCommonFlags(const support::ArgParser& args) {
     config.threads = support::ThreadPool::HardwareThreads();
   }
   config.faults = sim::FaultProfileFromString(args.GetString("faults"));
+  config.cluster_name = args.GetString("cluster");
+  config.cluster = ResolveClusterOrExit(config.cluster_name);
   config.checkpoint_dir = args.GetString("checkpoint-dir");
   config.resume = args.GetBool("resume");
   std::string list = args.GetString("models");
@@ -170,13 +181,15 @@ struct BenchContext {
 
 // When `config` is given its fault profile is installed into the
 // environment (retries with backoff, graceful degradation — see
-// core::EnvironmentOptions); a null config keeps the fault-free default.
+// core::EnvironmentOptions) and its --cluster topology is used; a null
+// config keeps the fault-free default cluster.
 inline BenchContext MakeContext(models::Benchmark benchmark,
                                 const BenchConfig* config = nullptr) {
   BenchContext context;
   context.benchmark = benchmark;
   context.graph = models::BuildBenchmark(benchmark);
-  context.cluster = sim::MakeDefaultCluster();
+  context.cluster =
+      config != nullptr ? config->cluster : sim::MakeDefaultCluster();
   core::EnvironmentOptions env_options;
   if (config != nullptr) env_options.faults = config->faults;
   context.env = std::make_unique<core::PlacementEnvironment>(

@@ -179,9 +179,9 @@ struct SimRow {
 };
 
 SimRow RunSimCaseOnGraph(const std::string& label,
-                         const graph::OpGraph& graph, int repeats,
+                         const graph::OpGraph& graph,
+                         const sim::ClusterSpec& cluster, int repeats,
                          double target_seconds) {
-  const auto cluster = sim::MakeDefaultCluster();
   const sim::SimulatorOptions options;
   sim::ExecutionSimulator simulator(graph, cluster, options);
   // The frozen reference gets the same constructor-cached priorities the
@@ -226,13 +226,14 @@ SimRow RunSimCaseOnGraph(const std::string& label,
   return row;
 }
 
-SimRow RunSimCase(models::Benchmark benchmark, bool reduced, int repeats,
+SimRow RunSimCase(models::Benchmark benchmark,
+                  const sim::ClusterSpec& cluster, bool reduced, int repeats,
                   double target_seconds) {
   models::ZooOptions zoo;
   zoo.reduced = reduced;
   return RunSimCaseOnGraph(models::BenchmarkName(benchmark),
-                           models::BuildBenchmark(benchmark, zoo), repeats,
-                           target_seconds);
+                           models::BuildBenchmark(benchmark, zoo), cluster,
+                           repeats, target_seconds);
 }
 
 // ---- delta re-simulation section (results/BENCH_delta.json) ----
@@ -267,9 +268,9 @@ struct DeltaRow {
 
 DeltaRow RunDeltaCaseOnGraph(const std::string& label,
                              const std::string& pattern,
-                             const graph::OpGraph& graph, int repeats,
+                             const graph::OpGraph& graph,
+                             const sim::ClusterSpec& cluster, int repeats,
                              double target_seconds) {
-  const auto cluster = sim::MakeDefaultCluster();
   const sim::SimulatorOptions options;
   sim::ExecutionSimulator simulator(graph, cluster, options);
 
@@ -455,10 +456,15 @@ int main(int argc, char** argv) {
                  "comma-separated graph files (.eg or .json) to add as "
                  "extra simulator rows; malformed files exit 2 with a "
                  "file:line diagnostic");
+  args.AddString("cluster", "",
+                 "cluster topology for the simulator rows: default, "
+                 "2node8, mixed, or a .ec/.json cluster-spec file");
   if (!args.Parse(argc, argv)) return 0;
 
   const std::vector<std::string> imported =
       bench::ImportGraphsOrExit(args.GetString("load"));
+  const sim::ClusterSpec cluster =
+      bench::ResolveClusterOrExit(args.GetString("cluster"));
 
   const bool smoke = args.GetBool("smoke");
   const int repeats = smoke ? 2 : static_cast<int>(args.GetInt("repeats"));
@@ -495,7 +501,8 @@ int main(int argc, char** argv) {
 
   std::vector<SimRow> sims;
   for (const auto benchmark : models::AllBenchmarks()) {
-    sims.push_back(RunSimCase(benchmark, smoke, repeats, target_seconds));
+    sims.push_back(
+        RunSimCase(benchmark, cluster, smoke, repeats, target_seconds));
     const auto& r = sims.back();
     std::cout << "sim " << r.graph << " (" << r.num_ops << " ops): naive "
               << r.naive_steps_per_sec << " steps/s, opt "
@@ -504,7 +511,7 @@ int main(int argc, char** argv) {
   }
   for (const std::string& name : imported) {
     sims.push_back(RunSimCaseOnGraph(name, *models::FindImportedGraph(name),
-                                     repeats, target_seconds));
+                                     cluster, repeats, target_seconds));
     const auto& r = sims.back();
     std::cout << "sim " << r.graph << " (" << r.num_ops
               << " ops, imported): naive " << r.naive_steps_per_sec
@@ -519,7 +526,7 @@ int main(int argc, char** argv) {
     const graph::OpGraph graph = models::BuildBenchmark(benchmark, zoo);
     for (const char* pattern : {"repeat", "single_op"}) {
       deltas.push_back(RunDeltaCaseOnGraph(models::BenchmarkName(benchmark),
-                                           pattern, graph, repeats,
+                                           pattern, graph, cluster, repeats,
                                            target_seconds));
       const auto& r = deltas.back();
       std::cout << "delta " << r.graph << "/" << r.pattern << " ("

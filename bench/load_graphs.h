@@ -1,6 +1,7 @@
-// --load flag plumbing shared by the benches: import user graph files
-// (.eg / .json) through the hardened ingestion pipeline and register
-// them in the model zoo so bench rows can refer to them by name.
+// --load / --cluster flag plumbing shared by the benches: import user
+// graph files (.eg / .json) through the hardened ingestion pipeline and
+// register them in the model zoo so bench rows can refer to them by
+// name; resolve cluster topology specs the same way.
 //
 // Kept separate from bench_common.h so bench_micro (which links only
 // nn/sim/models, not the RL stack) can use it too.
@@ -14,6 +15,7 @@
 
 #include "graph/ingest.h"
 #include "models/zoo.h"
+#include "sim/cluster_ingest.h"
 
 namespace eagle::bench {
 
@@ -61,6 +63,18 @@ inline std::vector<std::string> ImportGraphsOrExit(const std::string& list) {
     pos = comma + 1;
   }
   return names;
+}
+
+// Resolves a --cluster value (builtin name or spec file path) through
+// sim::ResolveCluster; a malformed or unvalidatable spec is the same
+// friendly exit 2 with the parser's file:line:column diagnostic.
+inline sim::ClusterSpec ResolveClusterOrExit(const std::string& spec) {
+  support::StatusOr<sim::ClusterSpec> cluster = sim::ResolveCluster(spec);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "%s\n", cluster.status().ToString().c_str());
+    std::exit(2);
+  }
+  return std::move(cluster).value();
 }
 
 }  // namespace eagle::bench

@@ -1,0 +1,86 @@
+# Two-node 8-GPU cluster: each node is one fully NVLink-connected island
+# of 4 P100-class GPUs behind a shared PCIe root complex; nodes talk over
+# InfiniBand through one NIC per node (all egress from a node shares that
+# node's nic channel). Mirrors sim::MakeTwoNodeNvlinkIbCluster().
+device /node0/cpu:0 cpu gflops=80 mem_bw=60 overhead=25 mem=128849018880
+device /node0/gpu:0 gpu gflops=2500 mem_bw=550 overhead=50 mem=11811160064
+device /node0/gpu:1 gpu gflops=2500 mem_bw=550 overhead=50 mem=11811160064
+device /node0/gpu:2 gpu gflops=2500 mem_bw=550 overhead=50 mem=11811160064
+device /node0/gpu:3 gpu gflops=2500 mem_bw=550 overhead=50 mem=11811160064
+device /node1/cpu:0 cpu gflops=80 mem_bw=60 overhead=25 mem=128849018880
+device /node1/gpu:0 gpu gflops=2500 mem_bw=550 overhead=50 mem=11811160064
+device /node1/gpu:1 gpu gflops=2500 mem_bw=550 overhead=50 mem=11811160064
+device /node1/gpu:2 gpu gflops=2500 mem_bw=550 overhead=50 mem=11811160064
+device /node1/gpu:3 gpu gflops=2500 mem_bw=550 overhead=50 mem=11811160064
+# intra-node: host<->GPU over the shared PCIe root, GPU<->GPU over NVLink
+link /node0/cpu:0 /node0/gpu:0 bw=11 lat=50 chan=pcie0 bidir
+link /node0/cpu:0 /node0/gpu:1 bw=11 lat=50 chan=pcie0 bidir
+link /node0/cpu:0 /node0/gpu:2 bw=11 lat=50 chan=pcie0 bidir
+link /node0/cpu:0 /node0/gpu:3 bw=11 lat=50 chan=pcie0 bidir
+link /node0/gpu:0 /node0/gpu:1 bw=44 lat=6 bidir
+link /node0/gpu:0 /node0/gpu:2 bw=44 lat=6 bidir
+link /node0/gpu:0 /node0/gpu:3 bw=44 lat=6 bidir
+link /node0/gpu:1 /node0/gpu:2 bw=44 lat=6 bidir
+link /node0/gpu:1 /node0/gpu:3 bw=44 lat=6 bidir
+link /node0/gpu:2 /node0/gpu:3 bw=44 lat=6 bidir
+link /node1/cpu:0 /node1/gpu:0 bw=11 lat=50 chan=pcie1 bidir
+link /node1/cpu:0 /node1/gpu:1 bw=11 lat=50 chan=pcie1 bidir
+link /node1/cpu:0 /node1/gpu:2 bw=11 lat=50 chan=pcie1 bidir
+link /node1/cpu:0 /node1/gpu:3 bw=11 lat=50 chan=pcie1 bidir
+link /node1/gpu:0 /node1/gpu:1 bw=44 lat=6 bidir
+link /node1/gpu:0 /node1/gpu:2 bw=44 lat=6 bidir
+link /node1/gpu:0 /node1/gpu:3 bw=44 lat=6 bidir
+link /node1/gpu:1 /node1/gpu:2 bw=44 lat=6 bidir
+link /node1/gpu:1 /node1/gpu:3 bw=44 lat=6 bidir
+link /node1/gpu:2 /node1/gpu:3 bw=44 lat=6 bidir
+# inter-node: IB, every transfer leaving a node queues on its NIC
+link /node0/cpu:0 /node1/cpu:0 bw=9 lat=130 chan=nic0
+link /node1/cpu:0 /node0/cpu:0 bw=9 lat=130 chan=nic1
+link /node0/cpu:0 /node1/gpu:0 bw=9 lat=130 chan=nic0
+link /node1/gpu:0 /node0/cpu:0 bw=9 lat=130 chan=nic1
+link /node0/cpu:0 /node1/gpu:1 bw=9 lat=130 chan=nic0
+link /node1/gpu:1 /node0/cpu:0 bw=9 lat=130 chan=nic1
+link /node0/cpu:0 /node1/gpu:2 bw=9 lat=130 chan=nic0
+link /node1/gpu:2 /node0/cpu:0 bw=9 lat=130 chan=nic1
+link /node0/cpu:0 /node1/gpu:3 bw=9 lat=130 chan=nic0
+link /node1/gpu:3 /node0/cpu:0 bw=9 lat=130 chan=nic1
+link /node0/gpu:0 /node1/cpu:0 bw=9 lat=130 chan=nic0
+link /node1/cpu:0 /node0/gpu:0 bw=9 lat=130 chan=nic1
+link /node0/gpu:0 /node1/gpu:0 bw=9 lat=130 chan=nic0
+link /node1/gpu:0 /node0/gpu:0 bw=9 lat=130 chan=nic1
+link /node0/gpu:0 /node1/gpu:1 bw=9 lat=130 chan=nic0
+link /node1/gpu:1 /node0/gpu:0 bw=9 lat=130 chan=nic1
+link /node0/gpu:0 /node1/gpu:2 bw=9 lat=130 chan=nic0
+link /node1/gpu:2 /node0/gpu:0 bw=9 lat=130 chan=nic1
+link /node0/gpu:0 /node1/gpu:3 bw=9 lat=130 chan=nic0
+link /node1/gpu:3 /node0/gpu:0 bw=9 lat=130 chan=nic1
+link /node0/gpu:1 /node1/cpu:0 bw=9 lat=130 chan=nic0
+link /node1/cpu:0 /node0/gpu:1 bw=9 lat=130 chan=nic1
+link /node0/gpu:1 /node1/gpu:0 bw=9 lat=130 chan=nic0
+link /node1/gpu:0 /node0/gpu:1 bw=9 lat=130 chan=nic1
+link /node0/gpu:1 /node1/gpu:1 bw=9 lat=130 chan=nic0
+link /node1/gpu:1 /node0/gpu:1 bw=9 lat=130 chan=nic1
+link /node0/gpu:1 /node1/gpu:2 bw=9 lat=130 chan=nic0
+link /node1/gpu:2 /node0/gpu:1 bw=9 lat=130 chan=nic1
+link /node0/gpu:1 /node1/gpu:3 bw=9 lat=130 chan=nic0
+link /node1/gpu:3 /node0/gpu:1 bw=9 lat=130 chan=nic1
+link /node0/gpu:2 /node1/cpu:0 bw=9 lat=130 chan=nic0
+link /node1/cpu:0 /node0/gpu:2 bw=9 lat=130 chan=nic1
+link /node0/gpu:2 /node1/gpu:0 bw=9 lat=130 chan=nic0
+link /node1/gpu:0 /node0/gpu:2 bw=9 lat=130 chan=nic1
+link /node0/gpu:2 /node1/gpu:1 bw=9 lat=130 chan=nic0
+link /node1/gpu:1 /node0/gpu:2 bw=9 lat=130 chan=nic1
+link /node0/gpu:2 /node1/gpu:2 bw=9 lat=130 chan=nic0
+link /node1/gpu:2 /node0/gpu:2 bw=9 lat=130 chan=nic1
+link /node0/gpu:2 /node1/gpu:3 bw=9 lat=130 chan=nic0
+link /node1/gpu:3 /node0/gpu:2 bw=9 lat=130 chan=nic1
+link /node0/gpu:3 /node1/cpu:0 bw=9 lat=130 chan=nic0
+link /node1/cpu:0 /node0/gpu:3 bw=9 lat=130 chan=nic1
+link /node0/gpu:3 /node1/gpu:0 bw=9 lat=130 chan=nic0
+link /node1/gpu:0 /node0/gpu:3 bw=9 lat=130 chan=nic1
+link /node0/gpu:3 /node1/gpu:1 bw=9 lat=130 chan=nic0
+link /node1/gpu:1 /node0/gpu:3 bw=9 lat=130 chan=nic1
+link /node0/gpu:3 /node1/gpu:2 bw=9 lat=130 chan=nic0
+link /node1/gpu:2 /node0/gpu:3 bw=9 lat=130 chan=nic1
+link /node0/gpu:3 /node1/gpu:3 bw=9 lat=130 chan=nic0
+link /node1/gpu:3 /node0/gpu:3 bw=9 lat=130 chan=nic1

@@ -1,0 +1,18 @@
+# Mixed-speed single box: two P100-class cards plus two older, slower
+# cards with more memory, all behind one PCIe root complex (no NVLink).
+# Mirrors sim::MakeMixedSpeedCluster().
+device /node0/cpu:0 cpu gflops=80 mem_bw=60 overhead=25 mem=128849018880
+device /node0/gpu:0 gpu gflops=2500 mem_bw=550 overhead=50 mem=11811160064
+device /node0/gpu:1 gpu gflops=2500 mem_bw=550 overhead=50 mem=11811160064
+device /node0/gpu:2 gpu gflops=900 mem_bw=550 overhead=50 mem=22548578304
+device /node0/gpu:3 gpu gflops=900 mem_bw=550 overhead=50 mem=22548578304
+link /node0/cpu:0 /node0/gpu:0 bw=11 lat=50 chan=pcie0 bidir
+link /node0/cpu:0 /node0/gpu:1 bw=11 lat=50 chan=pcie0 bidir
+link /node0/cpu:0 /node0/gpu:2 bw=11 lat=50 chan=pcie0 bidir
+link /node0/cpu:0 /node0/gpu:3 bw=11 lat=50 chan=pcie0 bidir
+link /node0/gpu:0 /node0/gpu:1 bw=11 lat=50 chan=pcie0 bidir
+link /node0/gpu:0 /node0/gpu:2 bw=11 lat=50 chan=pcie0 bidir
+link /node0/gpu:0 /node0/gpu:3 bw=11 lat=50 chan=pcie0 bidir
+link /node0/gpu:1 /node0/gpu:2 bw=11 lat=50 chan=pcie0 bidir
+link /node0/gpu:1 /node0/gpu:3 bw=11 lat=50 chan=pcie0 bidir
+link /node0/gpu:2 /node0/gpu:3 bw=11 lat=50 chan=pcie0 bidir

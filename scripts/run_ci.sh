@@ -17,13 +17,16 @@
 #      see docs/PERFORMANCE.md),
 #   7. an ingestion fuzz smoke: graph_fuzz built with ASan+UBSan mutates
 #      seeded .eg/.json corpora 10k/2k times against the hardened parser
-#      (any crash or uncaught throw fails here) and runs a 100k-op
-#      generate→ingest→validate→group→simulate pass end to end (see
-#      docs/GRAPH_FORMATS.md),
+#      (any crash or uncaught throw fails here), corrupts the shipped
+#      cluster-spec files 2k times each against the cluster importer,
+#      and runs a 100k-op generate→ingest→validate→group→simulate pass
+#      end to end — once on the default box and once on the 2node8
+#      hierarchical topology (see docs/GRAPH_FORMATS.md),
 #   8. a delta differential smoke under the same sanitizer build:
 #      graph_fuzz --mode=delta replays random single- and multi-op move
-#      sequences on zoo + fuzz graphs and fails on the first result that
-#      is not bit-identical to a fresh full run (see docs/SIMULATOR.md).
+#      sequences on zoo + fuzz graphs — swept across the default, 2node8
+#      and mixed topologies — and fails on the first result that is not
+#      bit-identical to a fresh full run (see docs/SIMULATOR.md).
 # Usage: scripts/run_ci.sh [build-dir]
 set -euo pipefail
 BUILD=${1:-build-ci}
@@ -98,12 +101,19 @@ FUZZ="$BUILD-fuzz/tools/graph_fuzz"
 "$FUZZ" --mode=generate --ops=500 --seed=4 --out="$SMOKE/corpus.json"
 "$FUZZ" --mode=fuzz --in="$SMOKE/corpus.eg" --iters=10000 --seed=5
 "$FUZZ" --mode=fuzz --in="$SMOKE/corpus.json" --iters=2000 --seed=6
+# The cluster importer gets the same treatment: corrupted copies of the
+# shipped topology specs must come back as taxonomy errors, never a
+# crash or sanitizer report.
+"$FUZZ" --mode=cluster-fuzz --in=clusters/2node8.ec --iters=2000 --seed=5
+"$FUZZ" --mode=cluster-fuzz --in=clusters/mixed.ec --iters=2000 --seed=6
 "$FUZZ" --mode=e2e --ops=100000 --seed=7
+"$FUZZ" --mode=e2e --ops=100000 --seed=7 --cluster=2node8
 echo FUZZ_SMOKE_CLEAN
 
 echo "=== delta differential smoke (ASan+UBSan) ==="
 # Same sanitizer binary: every delta-path evaluation across random move
-# sequences must be field-for-field identical to a fresh full run.
+# sequences must be field-for-field identical to a fresh full run, on
+# all three builtin topologies (default, 2node8, mixed).
 "$FUZZ" --mode=delta --iters=25 --seed=8
 echo DELTA_DIFF_CLEAN
 

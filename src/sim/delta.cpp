@@ -481,10 +481,23 @@ bool TryDeltaRun(const DeltaRunInputs& in, const Placement& placement,
       mark(on_dev[static_cast<std::size_t>(k)]);
     }
   };
+  // A popped transfer's consumers must replay (dedup means one transfer
+  // can feed many consumers).
+  const auto mark_transfer_consumers = [&ctx, &g, &mark](
+                                           const DeltaTransfer& tr) {
+    for (const auto ei : g.out_edges(tr.producer)) {
+      const graph::Edge& e = g.edges()[static_cast<std::size_t>(ei)];
+      if (e.bytes == tr.bytes &&
+          ctx.devices[static_cast<std::size_t>(e.dst)] == tr.dst) {
+        mark(e.dst);
+      }
+    }
+  };
   // Disturbing channel c at time t invalidates every cached transfer on c
-  // starting at or after t, plus every op that consumed one (dedup means
-  // one transfer can feed many consumers).
-  const auto lower_ch = [&ctx, &g, &mark](int c, double t) {
+  // starting at or after t, plus every op that consumed one. Sound for
+  // *removals*: a transfer vanishing from the queue only shifts the
+  // transfers behind it, and those all start at or after its slot.
+  const auto lower_ch = [&ctx, &mark_transfer_consumers](int c, double t) {
     const auto ci = static_cast<std::size_t>(c);
     if (!(t < ctx.t_ch[ci])) return;
     ctx.t_ch[ci] = t;
@@ -495,13 +508,41 @@ bool TryDeltaRun(const DeltaRunInputs& in, const Placement& placement,
           on_ch[static_cast<std::size_t>(k - 1)])];
       if (!(tr.xfer_start >= t)) break;
       --k;
-      for (const auto ei : g.out_edges(tr.producer)) {
-        const graph::Edge& e = g.edges()[static_cast<std::size_t>(ei)];
-        if (e.bytes == tr.bytes &&
-            ctx.devices[static_cast<std::size_t>(e.dst)] == tr.dst) {
-          mark(e.dst);
-        }
+      mark_transfer_consumers(tr);
+    }
+  };
+  // Insertion cut: a channel is a FIFO in *producer pick order*, not in
+  // start-time order, so a transfer (re)created by a producer whose new
+  // pick start is at least `pick_start` joins the queue behind every
+  // kept transfer from an earlier pick — and can displace every one from
+  // a later pick, even those whose cached xfer_start precedes the new
+  // transfer's (a channel-bound transfer starts the instant the link
+  // frees; an earlier queue slot re-occupies exactly that instant). Pop
+  // by creation order, then pull t_ch down to the popped frontier so the
+  // time predicate the merge uses stays aligned with the kept prefix
+  // (xfer_start is strictly increasing along a channel).
+  const auto lower_ch_pick = [&ctx, &mark_transfer_consumers](
+                                 int c, double pick_start) {
+    const auto ci = static_cast<std::size_t>(c);
+    auto& k = ctx.kept_ch[ci];
+    const auto& on_ch = ctx.ch_transfers[ci];
+    bool popped = false;
+    while (k > 0) {
+      const DeltaTransfer& tr = ctx.transfers[static_cast<std::size_t>(
+          on_ch[static_cast<std::size_t>(k - 1)])];
+      if (ctx.start[static_cast<std::size_t>(tr.producer)] < pick_start) {
+        break;
       }
+      --k;
+      popped = true;
+      mark_transfer_consumers(tr);
+    }
+    if (popped) {
+      const double frontier =
+          ctx.transfers[static_cast<std::size_t>(
+                            on_ch[static_cast<std::size_t>(k)])]
+              .xfer_start;
+      if (frontier < ctx.t_ch[ci]) ctx.t_ch[ci] = frontier;
     }
   };
 
@@ -592,10 +633,14 @@ bool TryDeltaRun(const DeltaRunInputs& in, const Placement& placement,
           const auto pi = static_cast<std::size_t>(e.src);
           const DeviceId old_p = ctx.devices[pi];
           const DeviceId new_p = placement.device(e.src);
+          // A producer's new pick start is exactly its cached start when
+          // kept, and no earlier than its ready-time LB when invalid.
+          const double src_pick =
+              is_invalid(e.src) ? ctx.lb[pi] : ctx.start[pi];
           if (old_p != old_dev) {
             const DeltaTransfer* tr = CtLookup(ctx, e.src, old_dev, e.bytes);
             if (tr == nullptr) {
-              lower_ch(cluster.link_channel(old_p, old_dev), ctx.finish[pi]);
+              lower_ch_pick(cluster.link_channel(old_p, old_dev), src_pick);
             } else if (FirstFanoutOrdinal(g, placement, e.src, old_dev,
                                           e.bytes) != tr->ordinal) {
               lower_ch(cluster.link_channel(old_p, old_dev), tr->xfer_start);
@@ -606,9 +651,7 @@ bool TryDeltaRun(const DeltaRunInputs& in, const Placement& placement,
             if (tr == nullptr || is_invalid(e.src) ||
                 FirstFanoutOrdinal(g, placement, e.src, new_dev, e.bytes) !=
                     tr->ordinal) {
-              const double bound =
-                  is_invalid(e.src) ? ctx.lb_finish[pi] : ctx.finish[pi];
-              lower_ch(cluster.link_channel(new_p, new_dev), bound);
+              lower_ch_pick(cluster.link_channel(new_p, new_dev), src_pick);
             }
           }
         }
@@ -629,7 +672,7 @@ bool TryDeltaRun(const DeltaRunInputs& in, const Placement& placement,
                    tr != nullptr ? tr->xfer_start : ctx.finish[ui]);
         }
         if (new_dev != new_w) {
-          lower_ch(cluster.link_channel(new_dev, new_w), lb_finish);
+          lower_ch_pick(cluster.link_channel(new_dev, new_w), new_lb);
         }
       }
     }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "support/check.h"
 
@@ -10,13 +11,15 @@ namespace eagle::sim {
 DeviceId ClusterSpec::AddDevice(DeviceSpec spec) {
   const auto id = static_cast<DeviceId>(devices_.size());
   devices_.push_back(std::move(spec));
-  // Grow the link matrices, preserving existing entries.
+  // Grow the link matrices, preserving existing entries. Channel entries
+  // are dense indices into channel_ids_ (not row-major positions), so the
+  // re-layout cannot invalidate them: links sharing a label before the
+  // AddDevice still share the same dense index after.
   const int n = num_devices();
-  std::vector<LinkSpec> links(static_cast<std::size_t>(n) *
-                              static_cast<std::size_t>(n));
-  std::vector<int> channels(static_cast<std::size_t>(n) *
-                                static_cast<std::size_t>(n),
-                            -1);
+  const auto nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  std::vector<LinkSpec> links(nn);
+  std::vector<unsigned char> set(nn, 0);
+  std::vector<int> channels(nn, -1);
   for (int s = 0; s + 1 < n; ++s) {
     for (int d = 0; d + 1 < n; ++d) {
       const auto to = static_cast<std::size_t>(s) *
@@ -26,19 +29,51 @@ DeviceId ClusterSpec::AddDevice(DeviceSpec spec) {
                             static_cast<std::size_t>(n - 1) +
                         static_cast<std::size_t>(d);
       links[to] = links_[from];
+      set[to] = link_set_[from];
       channels[to] = link_channels_[from];
     }
   }
   links_ = std::move(links);
+  link_set_ = std::move(set);
   link_channels_ = std::move(channels);
   return id;
+}
+
+void ClusterSpec::SetDefaultLink(LinkSpec link) {
+  default_link_ = link;
+  has_default_link_ = true;
+}
+
+bool ClusterSpec::link_configured(DeviceId src, DeviceId dst) const {
+  const int n = num_devices();
+  EAGLE_CHECK(src >= 0 && src < n && dst >= 0 && dst < n);
+  return link_set_[static_cast<std::size_t>(src) *
+                       static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(dst)] != 0;
 }
 
 void ClusterSpec::SetLinkChannel(DeviceId src, DeviceId dst, int channel) {
   const int n = num_devices();
   EAGLE_CHECK(src >= 0 && src < n && dst >= 0 && dst < n && channel >= 0);
+  // Map the caller-chosen label to a dense index in first-use order. The
+  // old scheme stored the raw label and reserved [0, n*n) for it, which
+  // broke two ways: labels >= n*n aliased the default-channel range (or
+  // indexed past num_link_channels() into workspace arrays), and the
+  // reserved range left 2*n*n channel slots live even when none were
+  // labelled.
+  int dense = -1;
+  for (std::size_t i = 0; i < channel_ids_.size(); ++i) {
+    if (channel_ids_[i] == channel) {
+      dense = static_cast<int>(i);
+      break;
+    }
+  }
+  if (dense < 0) {
+    dense = static_cast<int>(channel_ids_.size());
+    channel_ids_.push_back(channel);
+  }
   link_channels_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
-                 static_cast<std::size_t>(dst)] = channel;
+                 static_cast<std::size_t>(dst)] = dense;
 }
 
 int ClusterSpec::link_channel(DeviceId src, DeviceId dst) const {
@@ -48,21 +83,24 @@ int ClusterSpec::link_channel(DeviceId src, DeviceId dst) const {
       link_channels_[static_cast<std::size_t>(src) *
                          static_cast<std::size_t>(n) +
                      static_cast<std::size_t>(dst)];
-  // Custom channels occupy [0, n*n); default per-pair channels are offset
-  // past them so the two ranges never collide.
-  return custom >= 0 ? custom : n * n + src * n + dst;
+  // Dense custom channels occupy [0, num_custom_channels()); default
+  // per-pair channels are offset past them so the ranges never collide.
+  return custom >= 0 ? custom : num_custom_channels() + src * n + dst;
 }
 
 int ClusterSpec::num_link_channels() const {
   const int n = num_devices();
-  return 2 * n * n;
+  return num_custom_channels() + n * n;
 }
 
 void ClusterSpec::SetLink(DeviceId src, DeviceId dst, LinkSpec link) {
   const int n = num_devices();
   EAGLE_CHECK(src >= 0 && src < n && dst >= 0 && dst < n);
-  links_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
-         static_cast<std::size_t>(dst)] = link;
+  const auto idx = static_cast<std::size_t>(src) *
+                       static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(dst);
+  links_[idx] = link;
+  link_set_[idx] = 1;
 }
 
 const DeviceSpec& ClusterSpec::device(DeviceId id) const {
@@ -74,8 +112,11 @@ const DeviceSpec& ClusterSpec::device(DeviceId id) const {
 const LinkSpec& ClusterSpec::link(DeviceId src, DeviceId dst) const {
   const int n = num_devices();
   EAGLE_CHECK(src >= 0 && src < n && dst >= 0 && dst < n);
-  return links_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
-                static_cast<std::size_t>(dst)];
+  const auto idx = static_cast<std::size_t>(src) *
+                       static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(dst);
+  if (link_set_[idx] == 0 && has_default_link_) return default_link_;
+  return links_[idx];
 }
 
 DeviceId ClusterSpec::FirstCpu() const {
@@ -133,9 +174,31 @@ support::Status ClusterSpec::Validate() const {
       return Status::Error(ErrorCode::kNumericOverflow, os.str());
     }
   }
+  if (has_default_link_) {
+    if (!ValidRate(default_link_.bandwidth_gbps)) {
+      os << "default link: bandwidth_gbps must be a positive finite "
+         << "number, got " << default_link_.bandwidth_gbps;
+      return Status::Error(ErrorCode::kNumericOverflow, os.str());
+    }
+    if (!ValidCost(default_link_.latency_us)) {
+      os << "default link: latency_us must be a non-negative finite "
+         << "number, got " << default_link_.latency_us;
+      return Status::Error(ErrorCode::kNumericOverflow, os.str());
+    }
+  }
   for (DeviceId s = 0; s < num_devices(); ++s) {
     for (DeviceId d = 0; d < num_devices(); ++d) {
       if (s == d) continue;  // the diagonal is never consulted
+      // An unconfigured pair used to fall back to the default-constructed
+      // 12 GB/s PCIe LinkSpec, which made unreachable pairs in partial
+      // multi-node specs look like fast local links. Now it is an error
+      // unless the spec opted into a default tier via SetDefaultLink.
+      if (!link_configured(s, d) && !has_default_link_) {
+        os << "link " << s << " ('" << device(s).name << "') -> " << d
+           << " ('" << device(d).name << "') was never configured and no "
+           << "default link tier is declared";
+        return Status::Error(ErrorCode::kSyntax, os.str());
+      }
       const LinkSpec& l = link(s, d);
       if (!ValidRate(l.bandwidth_gbps)) {
         os << "link " << s << "->" << d << ": bandwidth_gbps must be a "
@@ -204,13 +267,123 @@ ClusterSpec MakeDefaultCluster(const ClusterOptions& options) {
   return cluster;
 }
 
-ClusterSpec MakeScaledCluster(double memory_scale,
-                              const ClusterOptions& options) {
-  EAGLE_CHECK(memory_scale > 0.0);
+support::StatusOr<ClusterSpec> MakeScaledCluster(double memory_scale,
+                                                 const ClusterOptions& options) {
+  using support::ErrorCode;
+  using support::Status;
+  if (!std::isfinite(memory_scale) || memory_scale <= 0.0) {
+    std::ostringstream os;
+    os << "memory_scale must be a positive finite number, got "
+       << memory_scale;
+    return Status::Error(ErrorCode::kNumericOverflow, os.str());
+  }
   ClusterOptions scaled = options;
   scaled.gpu_memory_bytes = static_cast<std::int64_t>(
       static_cast<double>(options.gpu_memory_bytes) * memory_scale);
-  return MakeDefaultCluster(scaled);
+  ClusterSpec cluster = MakeDefaultCluster(scaled);
+  support::Status status = cluster.Validate();
+  if (!status.ok()) return status;
+  return cluster;
+}
+
+ClusterSpec MakeHierarchicalCluster(const HierarchicalClusterOptions& options) {
+  EAGLE_CHECK_MSG(options.num_nodes >= 1, "need at least one node");
+  EAGLE_CHECK_MSG(options.gpus_per_node >= 0, "negative gpus_per_node");
+  EAGLE_CHECK_MSG(options.island_size >= 1, "island_size must be >= 1");
+  ClusterSpec cluster;
+  // Per-node device ids, CPU first; plus the NVLink island index of every
+  // device (-1 for CPUs) to decide same-node tier membership below.
+  std::vector<std::vector<DeviceId>> node_devices(
+      static_cast<std::size_t>(options.num_nodes));
+  std::vector<int> island_of;
+  for (int ni = 0; ni < options.num_nodes; ++ni) {
+    const std::string prefix = "/node" + std::to_string(ni);
+    DeviceSpec cpu;
+    cpu.name = prefix + "/cpu:0";
+    cpu.kind = DeviceKind::kCPU;
+    cpu.gflops = options.cpu_gflops;
+    cpu.mem_bw_gbps = 60.0;
+    cpu.launch_overhead_us = 25.0;
+    cpu.memory_bytes = options.cpu_memory_bytes;
+    node_devices[static_cast<std::size_t>(ni)].push_back(
+        cluster.AddDevice(cpu));
+    island_of.push_back(-1);
+    for (int g = 0; g < options.gpus_per_node; ++g) {
+      DeviceSpec gpu;
+      gpu.name = prefix + "/gpu:" + std::to_string(g);
+      gpu.kind = DeviceKind::kGPU;
+      gpu.gflops = options.per_gpu_gflops.empty()
+                       ? options.gpu_gflops
+                       : options.per_gpu_gflops[static_cast<std::size_t>(g) %
+                                                options.per_gpu_gflops.size()];
+      gpu.mem_bw_gbps = options.gpu_mem_bw_gbps;
+      gpu.launch_overhead_us = options.gpu_launch_overhead_us;
+      gpu.memory_bytes =
+          options.per_gpu_memory_bytes.empty()
+              ? options.gpu_memory_bytes
+              : options
+                    .per_gpu_memory_bytes[static_cast<std::size_t>(g) %
+                                          options.per_gpu_memory_bytes.size()];
+      node_devices[static_cast<std::size_t>(ni)].push_back(
+          cluster.AddDevice(gpu));
+      island_of.push_back(g / options.island_size);
+    }
+  }
+
+  const LinkSpec nvlink{options.nvlink_gbps, options.nvlink_latency_us};
+  const LinkSpec pcie{options.pcie_gbps, options.pcie_latency_us};
+  const LinkSpec ib{options.ib_gbps, options.ib_latency_us};
+  // Channel labels: node ni's PCIe root complex is 2*ni, its NIC egress
+  // queue is 2*ni + 1. NVLink lanes are point-to-point and keep their
+  // default per-pair channels.
+  for (int ni = 0; ni < options.num_nodes; ++ni) {
+    for (int nj = 0; nj < options.num_nodes; ++nj) {
+      for (DeviceId a : node_devices[static_cast<std::size_t>(ni)]) {
+        for (DeviceId b : node_devices[static_cast<std::size_t>(nj)]) {
+          if (a == b) continue;
+          if (ni != nj) {
+            cluster.SetLink(a, b, ib);
+            if (options.shared_nic) cluster.SetLinkChannel(a, b, 2 * ni + 1);
+            continue;
+          }
+          const bool both_gpu =
+              cluster.device(a).kind == DeviceKind::kGPU &&
+              cluster.device(b).kind == DeviceKind::kGPU;
+          if (both_gpu && island_of[static_cast<std::size_t>(a)] ==
+                              island_of[static_cast<std::size_t>(b)]) {
+            cluster.SetLink(a, b, nvlink);
+          } else {
+            cluster.SetLink(a, b, pcie);
+            if (options.shared_pcie_root) cluster.SetLinkChannel(a, b, 2 * ni);
+          }
+        }
+      }
+    }
+  }
+  return cluster;
+}
+
+ClusterSpec MakeTwoNodeNvlinkIbCluster() {
+  HierarchicalClusterOptions options;
+  options.num_nodes = 2;
+  options.gpus_per_node = 4;
+  options.island_size = 4;  // each node is one fully NVLink-connected island
+  return MakeHierarchicalCluster(options);
+}
+
+ClusterSpec MakeMixedSpeedCluster() {
+  HierarchicalClusterOptions options;
+  options.num_nodes = 1;
+  options.gpus_per_node = 4;
+  options.island_size = 1;  // no NVLink: everything crosses the PCIe root
+  // Two P100-class cards plus two older, slower cards with more memory:
+  // the placer has to weigh speed against capacity instead of spreading
+  // uniformly.
+  options.per_gpu_gflops = {2500.0, 2500.0, 900.0, 900.0};
+  options.per_gpu_memory_bytes = {
+      static_cast<std::int64_t>(11.0 * (1LL << 30)),
+      static_cast<std::int64_t>(11.0 * (1LL << 30)), 21LL << 30, 21LL << 30};
+  return MakeHierarchicalCluster(options);
 }
 
 }  // namespace eagle::sim

@@ -1,0 +1,2 @@
+device a gpu
+device b gpu speed=3

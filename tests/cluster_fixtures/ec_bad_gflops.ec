@@ -1,0 +1,1 @@
+device a gpu gflops=fast

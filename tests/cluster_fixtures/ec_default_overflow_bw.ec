@@ -1,0 +1,2 @@
+default_link bw=1e999 lat=5
+device a gpu

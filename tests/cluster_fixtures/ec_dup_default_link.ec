@@ -1,0 +1,3 @@
+default_link bw=10 lat=5
+default_link bw=9 lat=5
+device a gpu

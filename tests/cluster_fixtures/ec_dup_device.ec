@@ -1,0 +1,3 @@
+device a gpu
+device b gpu
+device a cpu

@@ -1,0 +1,5 @@
+device a gpu
+device b gpu
+link a b bw=10 lat=5
+link b a bw=10 lat=5
+link a b bw=9 lat=5

@@ -1,0 +1,4 @@
+device a gpu
+device b gpu
+link a b bw=10 lat=5 bidir
+link b a bw=10 lat=5

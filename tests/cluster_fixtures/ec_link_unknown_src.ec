@@ -1,0 +1,3 @@
+device a gpu
+device b gpu
+link c b bw=10 lat=5 bidir

@@ -1,0 +1,5 @@
+device a gpu
+device b gpu
+device c gpu
+device d gpu
+default_link bw=10 lat=5

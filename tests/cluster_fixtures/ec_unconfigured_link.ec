@@ -1,0 +1,3 @@
+device a gpu
+device b gpu
+link a b bw=10 lat=5

@@ -1,0 +1,2 @@
+device a gpu
+directive b

@@ -92,7 +92,7 @@ TEST(AuditClean, TightMemoryClusterStaysConsistent) {
   zoo.reduced = true;
   const auto graph =
       models::BuildBenchmark(models::Benchmark::kInceptionV3, zoo);
-  const auto cluster = MakeScaledCluster(0.02);
+  const auto cluster = MakeScaledCluster(0.02).value();
   const Placement placement = RoundRobin(graph, cluster);
   ExecutionSimulator sim(graph, cluster, RecordingOptions());
   const StepResult result = sim.Run(placement);

@@ -481,6 +481,103 @@ TEST(Simulator, TransferDedupManyDistinctSizesPerSlot) {
                                       /*record_schedule=*/true));
 }
 
+// ---- hierarchical-cluster bit-identity property tests ----
+
+TEST(Delta, TierCrossingMovesBitIdenticalOnTwoNodeCluster) {
+  // Property test on the hierarchical 2-node topology: random multi-op
+  // move sequences constantly push ops across the NVLink/IB tier
+  // boundary, so the delta channel-cut logic has to rebuild contention
+  // state for the shared NIC egress channels — not just per-pair PCIe
+  // channels — and still match a fresh full run bit for bit.
+  const ClusterSpec cluster = MakeTwoNodeNvlinkIbCluster();
+  models::ZooOptions zoo;
+  zoo.reduced = true;
+  for (const auto benchmark : models::AllBenchmarks()) {
+    SCOPED_TRACE(models::BenchmarkName(benchmark));
+    const OpGraph g = models::BuildBenchmark(benchmark, zoo);
+    SimulatorOptions options;
+    options.delta.cutover_fraction = 1.0;
+    const DeltaStats stats = DriveMoves(g, cluster, options,
+                                        /*num_moves=*/8, /*ops_per_move=*/3,
+                                        /*seed=*/61);
+    EXPECT_GT(stats.hits, 0);
+  }
+}
+
+TEST(Delta, SharedNicDedupCutsBitIdentical) {
+  // Dedup-aware channel cuts on a shared channel: one producer on node 0
+  // feeds many consumers spread over node 1, so the deduped IB transfers
+  // all queue on node 0's single NIC egress channel. Moving a consumer
+  // back and forth across the boundary changes which transfers exist at
+  // all (dedup collapses same-destination copies); the incremental cut
+  // must agree exactly with the full run every time.
+  constexpr int kConsumers = 24;
+  OpGraph g;
+  OpDef producer;
+  producer.name = "producer";
+  producer.type = OpType::kMatMul;
+  producer.flops = 5e7;
+  producer.output_shape = TensorShape{256};
+  g.AddOp(producer);
+  for (int i = 0; i < kConsumers; ++i) {
+    OpDef use;
+    use.name = "use" + std::to_string(i);
+    use.type = OpType::kMatMul;
+    use.flops = 5e6;
+    use.output_shape = TensorShape{64};
+    g.AddOp(use);
+    // Half the consumers share a tensor size (dedup per destination
+    // device), half are distinct.
+    g.AddEdge(0, i + 1, (i % 2 == 0) ? 4096 : 4096 + i * 64);
+  }
+  const ClusterSpec cluster = MakeTwoNodeNvlinkIbCluster();
+  SimulatorOptions options;
+  options.record_schedule = true;
+  options.delta.cutover_fraction = 1.0;
+  options.delta.fallback_backoff_threshold = 0;
+  const ExecutionSimulator delta_sim(g, cluster, options);
+  const ExecutionSimulator full_sim(g, cluster, options);
+  DeltaContext ctx;
+  support::Rng rng(67);
+  const auto gpus = cluster.Gpus();
+  // Producer on node 0's first GPU; consumers sprinkled over both nodes.
+  std::vector<DeviceId> devices(static_cast<std::size_t>(g.num_ops()));
+  devices[0] = gpus[0];
+  for (int i = 1; i <= kConsumers; ++i) {
+    devices[static_cast<std::size_t>(i)] =
+        gpus[rng.NextBelow(gpus.size())];
+  }
+  for (int move = 0; move < 20; ++move) {
+    Placement placement(g, devices);
+    placement.Normalize(g, cluster);
+    ExpectIdentical(delta_sim.RunWithContext(placement, ctx),
+                    full_sim.Run(placement));
+    // Bounce one consumer to a random GPU (usually across the IB tier).
+    const auto victim =
+        1 + rng.NextBelow(static_cast<std::uint64_t>(kConsumers));
+    devices[victim] = gpus[rng.NextBelow(gpus.size())];
+  }
+  EXPECT_GT(ctx.stats.hits, 0);
+}
+
+TEST(Delta, MixedSpeedClusterMovesBitIdentical) {
+  // Heterogeneous per-device gflops/memory: compute times now differ per
+  // device, so replayed cones pick up different op durations after every
+  // move. Exactness must survive that.
+  const ClusterSpec cluster = MakeMixedSpeedCluster();
+  support::Rng graph_rng(71);
+  models::FuzzGraphConfig config;
+  config.num_ops = 200;
+  config.width = 10;
+  const OpGraph g = models::BuildFuzzGraph(config, graph_rng);
+  SimulatorOptions options;
+  options.delta.cutover_fraction = 1.0;
+  const DeltaStats stats = DriveMoves(g, cluster, options,
+                                      /*num_moves=*/12, /*ops_per_move=*/2,
+                                      /*seed=*/73);
+  EXPECT_GT(stats.hits, 0);
+}
+
 // ---- satellite: cluster spec validation ----
 
 TEST(ClusterSpec, ValidateRejectsDegenerateSpecs) {

@@ -104,7 +104,7 @@ TEST(Placeto, HandlesOomStartState) {
   models::ZooOptions zoo;
   zoo.reduced = true;
   auto g = models::BuildBenchmark(models::Benchmark::kBertBase, zoo);
-  const auto cluster = sim::MakeScaledCluster(0.02);
+  const auto cluster = sim::MakeScaledCluster(0.02).value();
   core::PlacetoOptions options;
   options.episodes = 8;
   options.num_groups = 12;

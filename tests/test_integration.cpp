@@ -114,7 +114,7 @@ TEST(Integration, ReducedBenchmarksTrainEndToEnd) {
   // produce a valid improving placement for each.
   models::ZooOptions zoo;
   zoo.reduced = true;
-  const auto cluster = sim::MakeScaledCluster(0.1);
+  const auto cluster = sim::MakeScaledCluster(0.1).value();
   for (auto benchmark : models::AllBenchmarks()) {
     auto graph = models::BuildBenchmark(benchmark, zoo);
     core::PlacementEnvironment env(graph, cluster);

@@ -32,7 +32,7 @@ TEST(Cluster, DefaultShape) {
 }
 
 TEST(Cluster, ScaledMemory) {
-  const auto half = MakeScaledCluster(0.5);
+  const auto half = MakeScaledCluster(0.5).value();
   const auto full = MakeDefaultCluster();
   EXPECT_EQ(half.device(1).memory_bytes, full.device(1).memory_bytes / 2);
 }

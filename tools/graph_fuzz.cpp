@@ -19,8 +19,12 @@
 //             single- and multi-op move sequences on the benchmark zoo
 //             plus fuzz-corpus training graphs, comparing every
 //             delta-path result field-for-field (doubles exact) against
-//             a fresh full run:
+//             a fresh full run. Sweeps the default, 2node8 and mixed
+//             topologies unless --cluster pins one:
 //               $ ./graph_fuzz --mode=delta --iters=50
+//   cluster-fuzz  like fuzz, but corrupts a cluster-spec file (.ec or
+//             .json) and feeds it to the hardened cluster importer:
+//               $ ./graph_fuzz --mode=cluster-fuzz --in=clusters/2node8.ec
 //
 // Exit codes: 0 success, 1 delta divergence, 2 structured ingestion
 // failure (e2e/fuzz input), matching the friendly-diagnostic convention
@@ -30,6 +34,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph_io.h"
@@ -38,6 +43,7 @@
 #include "models/fuzz_corpus.h"
 #include "models/zoo.h"
 #include "partition/metis_like.h"
+#include "sim/cluster_ingest.h"
 #include "sim/delta.h"
 #include "sim/device.h"
 #include "sim/placement.h"
@@ -110,7 +116,50 @@ int RunFuzz(const std::string& path, bool json, int iters,
   return 0;
 }
 
-int RunE2e(int ops, std::uint64_t seed, bool json) {
+// Cluster-spec mutation fuzz: the same stacked-corruption loop as
+// RunFuzz, pointed at the cluster importer. The contract under test is
+// identical — every mutant must come back as a structured Status from
+// the shared taxonomy, never a crash or a throw.
+int RunClusterFuzz(const std::string& path, bool json, int iters,
+                   std::uint64_t seed) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "graph_fuzz: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string base = buffer.str();
+
+  support::Rng rng(seed);
+  std::map<std::string, int> histogram;
+  for (int i = 0; i < iters; ++i) {
+    std::string mutant = base;
+    const int depth = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int d = 0; d < depth; ++d) {
+      mutant = models::MutateSerializedGraph(mutant, rng);
+    }
+    sim::ClusterIngestOptions opts;
+    opts.source_name = json ? "<mutant.json>" : "<mutant.ec>";
+    const support::StatusOr<sim::ClusterSpec> parsed =
+        json ? sim::ClusterFromJson(mutant, opts)
+             : sim::ParseTextCluster(mutant, opts);
+    if (parsed.ok()) {
+      ++histogram["ok"];
+    } else {
+      ++histogram[support::ErrorCodeName(parsed.status().code())];
+    }
+  }
+  std::printf("%d cluster mutants of %s (%s):\n", iters, path.c_str(),
+              json ? "json" : "ec");
+  for (const auto& [code, count] : histogram) {
+    std::printf("  %-17s %d\n", code.c_str(), count);
+  }
+  return 0;
+}
+
+int RunE2e(int ops, std::uint64_t seed, bool json,
+           const sim::ClusterSpec& cluster) {
   support::Stopwatch stopwatch;
   const graph::OpGraph generated = Generate(ops, seed);
   const std::string serialized = Serialize(generated, json);
@@ -132,7 +181,6 @@ int RunE2e(int ops, std::uint64_t seed, bool json) {
   std::printf("ingested + validated in %.2f s\n",
               stopwatch.ElapsedSeconds());
 
-  const auto cluster = sim::MakeDefaultCluster();
   partition::MetisOptions metis;
   metis.num_parts = 4 * cluster.num_devices();
   metis.seed = seed;
@@ -203,28 +251,50 @@ int DriveDeltaMoves(const std::string& label, const graph::OpGraph& graph,
   return 0;
 }
 
-int RunDeltaDiff(int iters, std::uint64_t seed) {
-  const auto cluster = sim::MakeDefaultCluster();
+int RunDeltaDiff(int iters, std::uint64_t seed,
+                 const std::string& cluster_flag) {
+  // Default sweep: the homogeneous single-root box plus both shipped
+  // hierarchical topologies, so the channel-cut logic is exercised
+  // against shared PCIe-root, shared NIC-egress and per-pair NVLink
+  // channels with heterogeneous per-device rates. --cluster pins one.
+  std::vector<std::pair<std::string, sim::ClusterSpec>> topologies;
+  if (cluster_flag.empty()) {
+    topologies.emplace_back("default", sim::MakeDefaultCluster());
+    topologies.emplace_back("2node8", sim::MakeTwoNodeNvlinkIbCluster());
+    topologies.emplace_back("mixed", sim::MakeMixedSpeedCluster());
+  } else {
+    support::StatusOr<sim::ClusterSpec> resolved =
+        sim::ResolveCluster(cluster_flag);
+    if (!resolved.ok()) {
+      std::fprintf(stderr, "graph_fuzz: %s\n",
+                   resolved.status().ToString().c_str());
+      return 2;
+    }
+    topologies.emplace_back(cluster_flag, std::move(resolved).value());
+  }
   support::Rng rng(seed);
   int checked = 0;
-  for (const auto benchmark : models::AllBenchmarks()) {
-    models::ZooOptions zoo;
-    zoo.reduced = true;
-    const graph::OpGraph graph = models::BuildBenchmark(benchmark, zoo);
-    if (DriveDeltaMoves(models::BenchmarkName(benchmark), graph, cluster,
-                        iters, rng, &checked) != 0) {
-      return 1;
+  for (const auto& [topo_name, cluster] : topologies) {
+    for (const auto benchmark : models::AllBenchmarks()) {
+      models::ZooOptions zoo;
+      zoo.reduced = true;
+      const graph::OpGraph graph = models::BuildBenchmark(benchmark, zoo);
+      if (DriveDeltaMoves(topo_name + "/" +
+                              models::BenchmarkName(benchmark),
+                          graph, cluster, iters, rng, &checked) != 0) {
+        return 1;
+      }
     }
-  }
-  for (int c = 0; c < 3; ++c) {
-    models::FuzzGraphConfig config;
-    config.num_ops = 120 + 80 * c;
-    config.width = 6 + 4 * c;
-    support::Rng graph_rng(seed + static_cast<std::uint64_t>(c) * 977);
-    const graph::OpGraph graph = models::BuildFuzzGraph(config, graph_rng);
-    if (DriveDeltaMoves("fuzz" + std::to_string(c), graph, cluster, iters,
-                        rng, &checked) != 0) {
-      return 1;
+    for (int c = 0; c < 3; ++c) {
+      models::FuzzGraphConfig config;
+      config.num_ops = 120 + 80 * c;
+      config.width = 6 + 4 * c;
+      support::Rng graph_rng(seed + static_cast<std::uint64_t>(c) * 977);
+      const graph::OpGraph graph = models::BuildFuzzGraph(config, graph_rng);
+      if (DriveDeltaMoves(topo_name + "/fuzz" + std::to_string(c), graph,
+                          cluster, iters, rng, &checked) != 0) {
+        return 1;
+      }
     }
   }
   std::printf("delta diff clean: %d evaluations bit-identical to full\n",
@@ -236,14 +306,21 @@ int RunDeltaDiff(int iters, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   support::ArgParser args("EAGLE graph-ingestion fuzzer");
-  args.AddString("mode", "fuzz", "generate | fuzz | e2e | delta");
+  args.AddString("mode", "fuzz",
+                 "generate | fuzz | e2e | delta | cluster-fuzz");
   args.AddInt("ops", 10000, "approximate op count (generate/e2e)");
   args.AddInt("seed", 1, "deterministic corpus seed");
-  args.AddInt("iters", 1000, "mutants to try (fuzz)");
-  args.AddString("in", "", "valid graph file to mutate (fuzz)");
+  args.AddInt("iters", 1000, "mutants to try (fuzz/cluster-fuzz)");
+  args.AddString("in", "",
+                 "valid graph (fuzz) or cluster-spec (cluster-fuzz) file "
+                 "to mutate");
   args.AddString("out", "", "output path (generate)");
   args.AddString("format", "",
                  "eg | json (default: from the file suffix, else eg)");
+  args.AddString("cluster", "",
+                 "cluster topology for e2e/delta: default, 2node8, mixed "
+                 "or a .ec/.json spec file (delta default: sweep all "
+                 "three builtins)");
   if (!args.Parse(argc, argv)) return 0;
 
   const std::string mode = args.GetString("mode");
@@ -282,11 +359,28 @@ int main(int argc, char** argv) {
     return RunFuzz(in_path, is_json(in_path),
                    static_cast<int>(args.GetInt("iters")), seed);
   }
+  if (mode == "cluster-fuzz") {
+    const std::string in_path = args.GetString("in");
+    if (in_path.empty()) {
+      std::fprintf(stderr, "graph_fuzz: --mode=cluster-fuzz needs --in\n");
+      return 2;
+    }
+    return RunClusterFuzz(in_path, is_json(in_path),
+                          static_cast<int>(args.GetInt("iters")), seed);
+  }
   if (mode == "e2e") {
-    return RunE2e(ops, seed, is_json(""));
+    support::StatusOr<sim::ClusterSpec> resolved =
+        sim::ResolveCluster(args.GetString("cluster"));
+    if (!resolved.ok()) {
+      std::fprintf(stderr, "graph_fuzz: %s\n",
+                   resolved.status().ToString().c_str());
+      return 2;
+    }
+    return RunE2e(ops, seed, is_json(""), resolved.value());
   }
   if (mode == "delta") {
-    return RunDeltaDiff(static_cast<int>(args.GetInt("iters")), seed);
+    return RunDeltaDiff(static_cast<int>(args.GetInt("iters")), seed,
+                        args.GetString("cluster"));
   }
   std::fprintf(stderr, "graph_fuzz: unknown --mode=%s\n", mode.c_str());
   return 2;

@@ -82,9 +82,10 @@ std::vector<RuleInfo> MakeRules() {
       "raw numeric conversion in the graph-ingestion layer — std::stoll "
       "throws and strtod saturates silently on hostile input; classify "
       "failures through graph::ParseInt64 / graph::ParseDouble",
-      // Only src/graph: json.cpp (strtod) and args.cpp (stoll) live in
-      // src/support and parse trusted, non-adversarial input.
-      {"src/graph/"},
+      // src/graph plus the cluster-spec importer, which parses the same
+      // class of untrusted files; json.cpp (strtod) and args.cpp (stoll)
+      // live in src/support and parse trusted, non-adversarial input.
+      {"src/graph/", "src/sim/cluster_ingest."},
       {"src/graph/parse_num."}});
   rules.push_back(RuleInfo{
       "WC01", "error",

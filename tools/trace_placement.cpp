@@ -20,6 +20,7 @@
 #include "graph/ingest.h"
 #include "models/zoo.h"
 #include "partition/metis_like.h"
+#include "sim/cluster_ingest.h"
 #include "sim/fault.h"
 #include "sim/trace.h"
 #include "support/args.h"
@@ -83,6 +84,9 @@ int main(int argc, char** argv) {
   args.AddString("faults", "",
                  "inject one fault draw into the traced step, e.g. "
                  "straggler=0.5,slowdown=4,link=0.3 (seed=N picks the draw)");
+  args.AddString("cluster", "",
+                 "cluster topology: default, 2node8, mixed, or a "
+                 ".ec/.json cluster-spec file");
   if (!args.Parse(argc, argv)) return 0;
 
   const std::string policy = args.GetString("policy");
@@ -113,7 +117,16 @@ int main(int argc, char** argv) {
         models::BenchmarkFromName(args.GetString("model")));
   }
 
-  const auto cluster = sim::MakeDefaultCluster();
+  // Same hardened path as graphs: builtin names resolve directly, file
+  // paths go through the validating cluster importer.
+  support::StatusOr<sim::ClusterSpec> resolved =
+      sim::ResolveCluster(args.GetString("cluster"));
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "trace_placement: %s\n",
+                 resolved.status().ToString().c_str());
+    return 2;
+  }
+  const sim::ClusterSpec cluster = std::move(resolved).value();
   sim::Placement placement;
   if (policy == "expert") {
     // Expert layouts exist only for the built-in benchmarks.
